@@ -1,0 +1,54 @@
+"""Figure 5 — distributions of quantization misses for 4-bit and 8-bit models.
+
+The paper shows that (a) the miss distributions of different bit-widths differ
+noticeably and (b) a 10%-sized QCore replicates the full training set's
+distribution.  This benchmark regenerates both series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core import QCoreBuilder
+from repro.eval import format_table
+from repro.models import build_model
+from bench_config import BENCH_SETTINGS, save_result
+
+
+def _run(dsa_data):
+    data = dsa_data
+    source = data.domain_names[0]
+    rng = np.random.default_rng(BENCH_SETTINGS["seed"])
+    model = build_model("InceptionTime", data.input_shape, data.num_classes, rng=rng)
+    builder = QCoreBuilder(levels=(4, 8), size=max(10, len(data[source].train) // 10))
+    optimizer = nn.SGD(model.parameters(), lr=BENCH_SETTINGS["lr"], momentum=0.9)
+    result = builder.build_during_training(
+        model, optimizer, data[source].train,
+        epochs=BENCH_SETTINGS["train_epochs"], batch_size=BENCH_SETTINGS["batch_size"], rng=rng,
+    )
+    rows = []
+    for level in (4, 8):
+        distribution = result.tracker.distribution(level)
+        subset = builder.sample_qcore(
+            data[source].train, result.tracker.misses_per_example(level),
+            rng=rng, size=builder.size, name=f"core-{level}",
+        )
+        subset_hist = subset.miss_distribution()
+        for k in distribution.support():
+            rows.append([
+                f"{level}-bit", k, distribution.counts[k], subset_hist.get(k, 0),
+            ])
+    return rows
+
+
+def test_fig5_miss_distributions(benchmark, dsa_data):
+    rows = benchmark.pedantic(lambda: _run(dsa_data), rounds=1, iterations=1)
+    text = format_table(
+        ["Model", "Quantization misses", "Examples (full set)", "Examples (QCore ~10%)"],
+        rows,
+        title="Figure 5 — quantization-miss distributions and 10% QCore replication (DSA surrogate)",
+        float_format="{:.0f}",
+    )
+    save_result("fig5_miss_distributions", text)
+    assert rows, "distribution must not be empty"

@@ -1,0 +1,64 @@
+"""Figure 8 — quantization-miss distributions by bit-width (2/4/8/32).
+
+Expected shape: the total number of misses grows as the bit-width shrinks, and
+the full-precision model (level 32) has far fewer misses than any quantized
+level — which is why a full-precision-only subset (Core 32) is a poor proxy
+for calibrating quantized models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core import QCoreBuilder
+from repro.eval import format_table
+from repro.models import build_model
+from bench_config import BENCH_SETTINGS, save_result
+
+
+def _collect(data, model_name):
+    source = data.domain_names[0]
+    rng = np.random.default_rng(BENCH_SETTINGS["seed"])
+    model = build_model(model_name, data.input_shape, data.num_classes, rng=rng)
+    builder = QCoreBuilder(levels=(2, 4, 8), size=BENCH_SETTINGS["qcore_size"])
+    optimizer = nn.SGD(model.parameters(), lr=BENCH_SETTINGS["lr"], momentum=0.9)
+    result = builder.build_during_training(
+        model, optimizer, data[source].train,
+        epochs=BENCH_SETTINGS["train_epochs"], batch_size=BENCH_SETTINGS["batch_size"], rng=rng,
+    )
+    totals = {}
+    for level in (2, 4, 8, 32):
+        totals[level] = int(result.tracker.misses_per_example(level).sum())
+    return result.tracker, totals
+
+
+def test_fig8_distributions_by_bits(benchmark, dsa_data, usc_data):
+    def run():
+        return {
+            "DSA Subj. 1": _collect(dsa_data, "InceptionTime"),
+            "USC Subj. 1": _collect(usc_data, "InceptionTime"),
+        }
+
+    collected = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for dataset_name, (tracker, totals) in collected.items():
+        for level in (2, 4, 8, 32):
+            distribution = tracker.distribution(level)
+            label = "Core 32 (full-precision)" if level == 32 else f"Core {level}"
+            rows.append([
+                dataset_name, label, totals[level],
+                distribution.max_misses, f"{distribution.expected_misses():.2f}",
+            ])
+    text = format_table(
+        ["Dataset", "Distribution", "Total misses", "Max misses", "Mean misses/example"],
+        rows,
+        title="Figure 8 — quantization misses by bit-width (lower bits ⇒ more misses)",
+    )
+    save_result("fig8_distributions_by_bits", text)
+
+    # Shape check: quantized models accumulate at least as many misses as the
+    # full-precision model, and 2-bit at least as many as 8-bit.
+    for dataset_name, (tracker, totals) in collected.items():
+        assert totals[2] >= totals[8] >= 0
+        assert totals[2] >= totals[32]

@@ -1,0 +1,59 @@
+"""Figure 9(b) — accuracy as a function of the buffer / subset size.
+
+Sweeps the storage budget (20–100 in the paper; a scaled grid here) for QCore
+and for Experience Replay.  Expected shapes: accuracy does not decrease as the
+budget grows, and QCore makes better use of small budgets than a plain buffer.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.baselines import ER
+from repro.eval import ContinualEvaluator, QCoreMethod, format_table
+from bench_config import BENCH_SETTINGS, baseline_kwargs, qcore_kwargs, save_result, train_backbone
+
+SIZE_GRID = (10, 20, 40, 60)
+
+
+def _run(dsa_data):
+    settings = BENCH_SETTINGS
+    data = dsa_data
+    source, target = data.domain_names[0], data.domain_names[1]
+    model = train_backbone(data, "InceptionTime", source)
+    evaluator = ContinualEvaluator(num_batches=settings["num_batches"], seed=settings["seed"])
+    scenario = evaluator.build_scenario(data, source, target)
+
+    series = {"QCore": [], "ER": []}
+    memory = {"QCore": [], "ER": []}
+    for size in SIZE_GRID:
+        qcore = QCoreMethod(**{**qcore_kwargs(), "qcore_size": size})
+        result = evaluator.run(qcore, scenario, copy.deepcopy(model), bits=4)
+        series["QCore"].append(result.average_accuracy)
+        memory["QCore"].append(result.memory_bytes)
+
+        er = ER(**{**baseline_kwargs(), "buffer_size": size})
+        result = evaluator.run(er, scenario, copy.deepcopy(model), bits=4)
+        series["ER"].append(result.average_accuracy)
+        memory["ER"].append(result.memory_bytes)
+    return series, memory
+
+
+def test_fig9b_memory(benchmark, dsa_data):
+    series, memory = benchmark.pedantic(lambda: _run(dsa_data), rounds=1, iterations=1)
+    rows = []
+    for method in series:
+        rows.append([method + " (acc.)"] + [float(v) for v in series[method]])
+        rows.append([method + " (KiB)"] + [float(v) / 1024 for v in memory[method]])
+    text = format_table(
+        ["Series"] + [f"size {s}" for s in SIZE_GRID],
+        rows,
+        title="Figure 9(b) — accuracy and memory vs buffer/subset size (DSA surrogate, 4-bit)",
+        float_format="{:.3f}",
+    )
+    save_result("fig9b_memory", text)
+
+    # Shape check: the largest budget is at least as good as the smallest for QCore.
+    assert series["QCore"][-1] >= series["QCore"][0] - 0.10

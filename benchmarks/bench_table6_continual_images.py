@@ -1,0 +1,63 @@
+"""Table 6 — continual-calibration accuracy on images (Caltech10 surrogate).
+
+Same protocol as Table 5 but with the image backbones (ResNet18 / VGG16
+surrogates).  Expected shape (paper): QCore outperforms the replay baselines
+in every bit-width on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import AGEM, Camel, DeepCompression, DER, DERpp, ER, ERACE
+from repro.eval import ContinualEvaluator, QCoreMethod, ResultsTable
+from bench_config import BENCH_SETTINGS, baseline_kwargs, qcore_kwargs, save_result
+
+
+def _run(caltech_data, backbones, model_name):
+    settings = BENCH_SETTINGS
+    evaluator = ContinualEvaluator(num_batches=settings["num_batches"], seed=settings["seed"])
+    source = caltech_data.domain_names[0]
+    target = caltech_data.domain_names[1]
+    model = backbones[("Caltech10", model_name, source)]
+    scenario = evaluator.build_scenario(caltech_data, source, target)
+    kwargs = baseline_kwargs()
+    factories = {
+        "A-GEM": lambda: AGEM(**kwargs),
+        "DER": lambda: DER(**kwargs),
+        "DER++": lambda: DERpp(**kwargs),
+        "ER": lambda: ER(**kwargs),
+        "ER-ACE": lambda: ERACE(**kwargs),
+        "Camel": lambda: Camel(**kwargs),
+        "DeepC": lambda: DeepCompression(**kwargs),
+        "QCore": lambda: QCoreMethod(**{**qcore_kwargs(), "train_epochs": 8}),
+    }
+    table = ResultsTable(
+        title=(
+            f"Table 6 (Caltech10 surrogate, {model_name}) — average accuracy in the "
+            f"continual setting, QCore/buffer size {settings['qcore_size']}"
+        )
+    )
+    for name, factory in factories.items():
+        for bits in settings["bits"]:
+            result = evaluator.run(factory(), scenario, model, bits=bits)
+            table.add(name, f"{bits}-bit", result.average_accuracy)
+    return table
+
+
+def test_table6_caltech_resnet(benchmark, caltech_data, trained_backbones):
+    table = benchmark.pedantic(
+        lambda: _run(caltech_data, trained_backbones, "ResNet18"), rounds=1, iterations=1
+    )
+    save_result("table6_caltech_resnet", table.render())
+    qcore_avg = table.row_average("QCore")
+    baseline_avgs = [table.row_average(row) for row in table.rows if row != "QCore"]
+    assert qcore_avg >= np.mean(baseline_avgs) - 0.15
+
+
+def test_table6_caltech_vgg(benchmark, caltech_data, trained_backbones):
+    table = benchmark.pedantic(
+        lambda: _run(caltech_data, trained_backbones, "VGG16"), rounds=1, iterations=1
+    )
+    save_result("table6_caltech_vgg", table.render())
+    assert table.rows  # table regenerated

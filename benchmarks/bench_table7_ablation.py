@@ -1,0 +1,72 @@
+"""Table 7 — ablation study: NoUpda / NoBF / full QCore, per stream batch.
+
+Removes the QCore-update component (``NoUpda``) or the bit-flipping component
+(``NoBF``) and reports per-batch accuracy for the 4-bit deployment, plus the
+per-calibration running time.  Expected shape (paper): the complete method has
+the highest average accuracy, and the runtime overhead of its components is
+small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import ContinualEvaluator, QCoreMethod, format_table
+from bench_config import BENCH_SETTINGS, qcore_kwargs, save_result
+
+VARIANTS = {
+    "NoUpda": dict(use_update=False),
+    "NoBF": dict(use_bitflip=False),
+    "QCore": dict(),
+}
+
+
+def _run(dsa_data, usc_data):
+    settings = BENCH_SETTINGS
+    evaluator = ContinualEvaluator(num_batches=settings["num_batches"], seed=settings["seed"])
+    results = {}
+    for dataset_name, data in (("DSA", dsa_data), ("USC", usc_data)):
+        source, target = data.domain_names[0], data.domain_names[1]
+        scenario = evaluator.build_scenario(data, source, target)
+        from bench_config import train_backbone
+
+        model = train_backbone(data, "InceptionTime", source)
+        per_variant = {}
+        for variant, flags in VARIANTS.items():
+            method = QCoreMethod(**{**qcore_kwargs(), **flags})
+            run = evaluator.run(method, scenario, model, bits=4)
+            per_variant[variant] = run
+        results[f"{dataset_name}: {source} → {target}"] = per_variant
+    return results
+
+
+def test_table7_ablation(benchmark, dsa_data, usc_data):
+    results = benchmark.pedantic(lambda: _run(dsa_data, usc_data), rounds=1, iterations=1)
+    rows = []
+    num_batches = BENCH_SETTINGS["num_batches"]
+    for scenario_name, per_variant in results.items():
+        for batch_index in range(num_batches):
+            rows.append(
+                [scenario_name, batch_index + 1]
+                + [per_variant[v].batch_accuracies[batch_index] for v in VARIANTS]
+            )
+        rows.append(
+            [scenario_name, "Avg."]
+            + [per_variant[v].average_accuracy for v in VARIANTS]
+        )
+        rows.append(
+            [scenario_name, "Time (s)"]
+            + [per_variant[v].total_adapt_seconds for v in VARIANTS]
+        )
+    text = format_table(
+        ["Scenario", "Batch", "NoUpda", "NoBF", "QCore"],
+        rows,
+        title="Table 7 — ablation of the QCore update and the bit-flipping network (4-bit)",
+    )
+    save_result("table7_ablation", text)
+
+    # Shape check: the complete method is at least as good on average as each ablation.
+    for per_variant in results.values():
+        full = per_variant["QCore"].average_accuracy
+        assert full >= per_variant["NoBF"].average_accuracy - 0.10
+        assert full >= per_variant["NoUpda"].average_accuracy - 0.10

@@ -1,0 +1,91 @@
+"""Table 8 — average accuracy of coreset-construction strategies.
+
+Builds subsets of size 30 with every strategy (sampling-based and
+gradient-based), calibrates 2/4/8-bit models on each, and reports accuracy on
+a shifted target domain — no continual calibration, isolating the subsets
+themselves.  Expected shape (paper): QCore performs best; the alternatives
+cluster slightly below it.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro import nn
+from repro.core import QCoreBuilder
+from repro.coresets import (
+    CRAIGCoreset,
+    GradMatchCoreset,
+    KMeansCoreset,
+    LeastConfidenceSampler,
+    MaxEntropySampler,
+    NormalDistributionSampler,
+)
+from repro.eval import ResultsTable
+from repro.models import build_model
+from repro.quantization import calibrate_with_backprop, quantize_model
+from bench_config import BENCH_SETTINGS, save_result
+
+STRATEGIES = {
+    "Maximum Entropy": MaxEntropySampler,
+    "Least Confidence": LeastConfidenceSampler,
+    "Normal Distrib.": NormalDistributionSampler,
+    "k-means": KMeansCoreset,
+    "GradMatch": GradMatchCoreset,
+    "CRAIG": CRAIGCoreset,
+}
+
+
+def _run(data, dataset_name):
+    settings = BENCH_SETTINGS
+    rng = np.random.default_rng(settings["seed"])
+    source, target = data.domain_names[0], data.domain_names[1]
+
+    # Train the backbone with Algorithm 1 so the miss tracker is available both
+    # for QCore and for the normal-distribution sampler.
+    model = build_model("InceptionTime", data.input_shape, data.num_classes, rng=rng)
+    builder = QCoreBuilder(levels=(2, 4, 8), size=settings["qcore_size"])
+    optimizer = nn.SGD(model.parameters(), lr=settings["lr"], momentum=0.9)
+    build = builder.build_during_training(
+        model, optimizer, data[source].train,
+        epochs=settings["train_epochs"], batch_size=settings["batch_size"], rng=rng,
+    )
+    misses = build.tracker.combined_misses_per_example((2, 4, 8))
+    test = data[target].test
+
+    subsets = {"QCore": build.qcore}
+    for name, strategy_cls in STRATEGIES.items():
+        subsets[name] = strategy_cls().build(
+            data[source].train, model, settings["qcore_size"], rng=rng, misses=misses
+        )
+
+    table = ResultsTable(
+        title=f"Table 8 ({dataset_name}) — coreset-construction strategies, subset size {settings['qcore_size']}"
+    )
+    for name, subset in subsets.items():
+        for bits in settings["bits"]:
+            quantized = quantize_model(copy.deepcopy(model), bits=bits)
+            calibrate_with_backprop(
+                quantized, subset.features, subset.labels,
+                epochs=settings["calibration_epochs"], lr=settings["lr"],
+                batch_size=settings["batch_size"], rng=rng,
+            )
+            table.add(name, f"{bits}-bit", quantized.evaluate(test.features, test.labels))
+    return table
+
+
+def test_table8_coreset_construction_dsa(benchmark, dsa_data):
+    table = benchmark.pedantic(lambda: _run(dsa_data, "DSA"), rounds=1, iterations=1)
+    save_result("table8_coreset_construction_dsa", table.render())
+    qcore_avg = table.row_average("QCore")
+    others = [table.row_average(row) for row in table.rows if row != "QCore"]
+    # Shape check: QCore is competitive with the best alternative strategy.
+    assert qcore_avg >= np.mean(others) - 0.05
+
+
+def test_table8_coreset_construction_usc(benchmark, usc_data):
+    table = benchmark.pedantic(lambda: _run(usc_data, "USC"), rounds=1, iterations=1)
+    save_result("table8_coreset_construction_usc", table.render())
+    assert table.rows

@@ -1,0 +1,66 @@
+"""Table 9 — average end-to-end running time per calibration (seconds).
+
+Measures the wall-clock time of one adaptation step (stream batch) for every
+method at 4 bits on all three datasets.  Expected shape (paper): QCore is
+several times faster than every back-propagation baseline because edge-side
+calibration is inference-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import AGEM, Camel, DeepCompression, DER, DERpp, ER, ERACE
+from repro.eval import ContinualEvaluator, QCoreMethod, ResultsTable
+from bench_config import BENCH_SETTINGS, baseline_kwargs, qcore_kwargs, save_result, train_backbone
+
+MODEL_FOR_DATASET = {"DSA": "InceptionTime", "USC": "InceptionTime", "Caltech10": "ResNet18"}
+
+
+def _run(datasets):
+    settings = BENCH_SETTINGS
+    # The paper trains baselines for hundreds of BP epochs per calibration while
+    # QCore needs a handful of inference iterations; mirror that asymmetry with
+    # a scaled-down epoch count.
+    kwargs = {**baseline_kwargs(), "adapt_epochs": 10}
+    factories = {
+        "A-GEM": lambda: AGEM(**kwargs),
+        "DER": lambda: DER(**kwargs),
+        "DER++": lambda: DERpp(**kwargs),
+        "ER": lambda: ER(**kwargs),
+        "ER-ACE": lambda: ERACE(**kwargs),
+        "Camel": lambda: Camel(**kwargs),
+        "DeepC": lambda: DeepCompression(**kwargs),
+        "QCore": lambda: QCoreMethod(**qcore_kwargs()),
+    }
+    evaluator = ContinualEvaluator(num_batches=settings["num_batches"], seed=settings["seed"])
+    table = ResultsTable(
+        title="Table 9 — average end-to-end running time per calibration (seconds), 4-bit"
+    )
+    accuracy_note = ResultsTable(title="(companion) average accuracy of the same runs")
+    for dataset_name, data in datasets.items():
+        source, target = data.domain_names[0], data.domain_names[1]
+        model = train_backbone(data, MODEL_FOR_DATASET[dataset_name], source)
+        scenario = evaluator.build_scenario(data, source, target)
+        for name, factory in factories.items():
+            result = evaluator.run(factory(), scenario, model, bits=4)
+            table.add(name, dataset_name, result.average_adapt_seconds)
+            accuracy_note.add(name, dataset_name, result.average_accuracy)
+    return table, accuracy_note
+
+
+def test_table9_running_time(benchmark, dsa_data, usc_data, caltech_data):
+    datasets = {"DSA": dsa_data, "USC": usc_data, "Caltech10": caltech_data}
+    table, accuracy_note = benchmark.pedantic(lambda: _run(datasets), rounds=1, iterations=1)
+    text = table.render(float_format="{:.4f}") + "\n\n" + accuracy_note.render()
+    save_result("table9_running_time", text)
+
+    # Shape check: the table is regenerated for every dataset with positive
+    # timings.  The paper reports QCore being 3-5x faster than the BP
+    # baselines; on the numpy substrate the constant factors differ (BP is
+    # comparatively cheap, the per-parameter feature extraction is Python
+    # level), so the measured ratio is recorded in EXPERIMENTS.md instead of
+    # asserted here.
+    for dataset_name in datasets:
+        for row in table.rows:
+            assert table.value(row, dataset_name) > 0

@@ -1,0 +1,611 @@
+"""The bit-flipping network (Sections 3.3.1–3.3.3, Algorithms 2 and 3).
+
+The bit-flipping network (BF) is a small auxiliary quantized model that
+replaces back-propagation on the edge.  During server-side calibration it
+observes, for every parameter of the main quantized model, (a) activation
+statistics derived from the data flowing into and out of the parameter's
+layer, and (b) how the parameter's integer code actually moved after a
+back-propagation step.  It learns to predict that movement — restricted to
+``{-1, 0, +1}`` — from the activation statistics alone.  On the edge, a single
+inference pass of the BF network per calibration iteration replaces the whole
+gradient computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.core.coreset import QCoreSet
+from repro.data.dataset import Dataset
+from repro.nn.module import Module
+from repro.quantization.calibration import CalibrationResult, calibrate_with_backprop
+from repro.quantization.qmodel import QuantizedModel
+from repro.quantization.quantizer import QuantizationConfig, UniformQuantizer
+
+#: Number of per-parameter features produced by :func:`extract_parameter_features`.
+NUM_FEATURES = 5
+
+
+def _layer_activation_summaries(layer: Module) -> Tuple[np.ndarray, np.ndarray]:
+    """Summarise the activations flowing into and out of a weighted layer.
+
+    Returns ``(a_in, a_out)`` where ``a_in`` has one entry per input slot of
+    the layer's weight matrix and ``a_out`` one entry per output unit.  For
+    convolutions the input slots are the im2col columns (channel x kernel
+    offset), matching the layout of the weight matrix.
+    """
+    last_input = layer.last_input
+    last_output = layer.last_output
+    if last_input is None or last_output is None:
+        raise RuntimeError(
+            f"layer {type(layer).__name__} has no cached activations; run a forward pass first"
+        )
+    if isinstance(layer, nn.Dense):
+        a_in = last_input.mean(axis=0)
+        a_out = last_output.mean(axis=0)
+    elif isinstance(layer, (nn.Conv1d, nn.Conv2d)):
+        cols = layer._cols
+        if cols is None:
+            raise RuntimeError("convolution has no cached im2col columns")
+        a_in = cols.reshape(-1, cols.shape[-1]).mean(axis=0)
+        out = last_output
+        a_out = out.reshape(out.shape[0], out.shape[1], -1).mean(axis=(0, 2))
+    elif isinstance(layer, nn.BatchNorm):
+        reduce_axes = (0,) + tuple(range(2, last_input.ndim))
+        a_in = last_input.mean(axis=reduce_axes)
+        a_out = last_output.mean(axis=reduce_axes)
+    else:
+        raise TypeError(f"unsupported weighted layer type {type(layer).__name__}")
+    return np.asarray(a_in, dtype=np.float64), np.asarray(a_out, dtype=np.float64)
+
+
+def _features_for_weight(
+    weight: np.ndarray, a_in: np.ndarray, a_out: np.ndarray
+) -> np.ndarray:
+    """Per-parameter features for a 2-D weight matrix ``(fan_in, out)``.
+
+    The third feature is the paper's ``Δa = (w ★ act) - act`` computed per
+    parameter; the remaining features give the BF network the context it
+    needs to resolve the direction of the update.
+    """
+    fan_in, out = weight.shape
+    w = weight
+    a_in_mat = np.broadcast_to(a_in[:, None], (fan_in, out))
+    a_out_mat = np.broadcast_to(a_out[None, :], (fan_in, out))
+    weighted = w * a_in_mat
+    features = np.stack(
+        [
+            w,
+            a_in_mat,
+            weighted - a_in_mat,  # Δa of Algorithm 2, line 9
+            a_out_mat,
+            weighted - a_out_mat / max(fan_in, 1),
+        ],
+        axis=-1,
+    )
+    return features.reshape(-1, NUM_FEATURES)
+
+
+def _features_for_vector(values: np.ndarray, a_in_mean: float, a_out: np.ndarray) -> np.ndarray:
+    """Per-parameter features for 1-D parameters (biases, BatchNorm scale/shift)."""
+    values = values.reshape(-1)
+    if a_out.shape[0] != values.shape[0]:
+        a_out = np.full(values.shape[0], float(np.mean(a_out)) if a_out.size else 0.0)
+    weighted = values * a_in_mean
+    features = np.stack(
+        [
+            values,
+            np.full_like(values, a_in_mean),
+            weighted - a_in_mean,
+            a_out,
+            weighted - a_out,
+        ],
+        axis=-1,
+    )
+    return features
+
+
+class FeatureNormalizer:
+    """Per-parameter feature standardisation fitted at BF-training time.
+
+    The BF network is trained on features observed during the server-side
+    calibration; on the edge, the *same* affine normalisation must be applied
+    so that a shift in the activation statistics (a new domain) shows up as a
+    shift in the normalised features rather than being washed out by
+    re-normalising on the fly.
+    """
+
+    def __init__(self):
+        self._stats: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def fit_update(self, name: str, features: np.ndarray) -> None:
+        """Record (or keep) the normalisation statistics for a parameter tensor."""
+        if name in self._stats:
+            return
+        mean = features.mean(axis=0, keepdims=True)
+        std = features.std(axis=0, keepdims=True)
+        std = np.where(std < 1e-8, 1.0, std)
+        self._stats[name] = (mean, std)
+
+    def transform(self, name: str, features: np.ndarray) -> np.ndarray:
+        """Standardise ``features`` with the stored statistics (identity if unknown)."""
+        if name not in self._stats:
+            mean = features.mean(axis=0, keepdims=True)
+            std = features.std(axis=0, keepdims=True)
+            std = np.where(std < 1e-8, 1.0, std)
+            return (features - mean) / std
+        mean, std = self._stats[name]
+        return (features - mean) / std
+
+
+def extract_parameter_features(
+    qmodel: QuantizedModel,
+    features_batch: np.ndarray,
+    normalizer: Optional[FeatureNormalizer] = None,
+    fit_normalizer: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Compute the per-parameter BF input features from one data batch.
+
+    Runs a forward pass of the quantized model over ``features_batch`` (this
+    is ordinary inference, exactly what an edge device executes anyway), then
+    derives, for every quantized parameter, a small feature vector describing
+    the interaction between the parameter and the activations.
+
+    ``normalizer`` carries the standardisation statistics fitted during BF
+    training; when ``fit_normalizer`` is true, unseen parameters have their
+    statistics recorded.
+
+    Returns a mapping ``parameter_name -> (num_parameters, NUM_FEATURES)``
+    whose row order matches ``codes.reshape(-1)`` of the corresponding
+    :class:`~repro.quantization.quantizer.QuantizedTensor`.
+    """
+    qmodel.sync()
+    qmodel.model.eval()
+    qmodel.model.forward(features_batch)
+    param_to_name = {
+        id(param): name for name, param in qmodel.model.named_parameters()
+    }
+    feature_map: Dict[str, np.ndarray] = {}
+    for layer in qmodel.model.weighted_layers():
+        a_in, a_out = _layer_activation_summaries(layer)
+        a_in_mean = float(a_in.mean()) if a_in.size else 0.0
+        for attr in ("weight", "bias", "beta"):
+            param = getattr(layer, attr, None)
+            if param is None:
+                continue
+            name = param_to_name.get(id(param))
+            if name is None or name not in qmodel.qtensors:
+                continue
+            if param.data.ndim == 2:
+                features = _features_for_weight(param.data, a_in, a_out)
+            else:
+                features = _features_for_vector(param.data, a_in_mean, a_out)
+            if normalizer is not None:
+                if fit_normalizer:
+                    normalizer.fit_update(name, features)
+                features = normalizer.transform(name, features)
+            else:
+                features = FeatureNormalizer().transform(name, features)
+            feature_map[name] = features
+    return feature_map
+
+
+class BitFlipNetwork(Module):
+    """The auxiliary bit-flipping model: one convolution plus one dense layer.
+
+    The network maps a per-parameter feature vector to three logits — the
+    classes correspond to the allowed parameter changes ``-1``, ``0`` and
+    ``+1`` (Section 3.3.2).  It is deliberately tiny (a few hundred
+    parameters) and, once trained, is itself quantized to the same bit-width
+    as the main model so it can live on the edge device.
+    """
+
+    def __init__(
+        self,
+        num_features: int = NUM_FEATURES,
+        hidden_channels: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.num_features = num_features
+        self.network = self.register_module(
+            "network",
+            nn.Sequential(
+                nn.Conv1d(num_features, hidden_channels, kernel_size=1, rng=rng, name="bf.conv"),
+                nn.ReLU(),
+                nn.Flatten(),
+                nn.Dense(hidden_channels, 3, rng=rng, name="bf.head"),
+            ),
+        )
+        self.quantized_bits: Optional[int] = None
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        """Logits of shape ``(num_parameters, 3)`` for per-parameter features."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected features of shape (N, {self.num_features}), got {features.shape}"
+            )
+        return self.network.forward(features[:, :, None])
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.network.backward(grad_output)
+
+    def predict_flips(
+        self, features: np.ndarray, confidence_threshold: float = 0.0
+    ) -> np.ndarray:
+        """Predict per-parameter flips in ``{-1, 0, +1}``.
+
+        ``confidence_threshold`` suppresses non-zero flips whose softmax
+        probability is below the threshold; this keeps edge calibration stable
+        when the BF network is uncertain (the paper notes that most parameter
+        changes stay within one bit and that calibration uses few iterations).
+        """
+        flips, _ = self.predict_flips_with_confidence(
+            features, confidence_threshold=confidence_threshold
+        )
+        return flips
+
+    def predict_flips_with_confidence(
+        self, features: np.ndarray, confidence_threshold: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predict flips together with the softmax confidence of each prediction."""
+        logits = self.forward(features)
+        probabilities = nn.functional.softmax(logits, axis=1)
+        flips = np.argmax(probabilities, axis=1) - 1
+        confidence = probabilities.max(axis=1)
+        if confidence_threshold > 0.0:
+            flips = np.where(confidence >= confidence_threshold, flips, 0)
+        return flips.astype(np.int64), confidence
+
+    def quantize_(self, bits: int) -> "BitFlipNetwork":
+        """Quantize the BF network's own weights in place (it is inference-only)."""
+        quantizer = UniformQuantizer(QuantizationConfig(bits=bits))
+        state = self.state_dict()
+        self.load_state_dict(
+            {name: quantizer.fake_quantize(values) for name, values in state.items()}
+        )
+        self.quantized_bits = bits
+        return self
+
+
+@dataclass
+class BitFlipTrainingResult:
+    """Outcome of Algorithm 2: the BF network plus training diagnostics."""
+
+    network: BitFlipNetwork
+    calibration: CalibrationResult
+    samples_collected: int
+    class_counts: Dict[int, int] = field(default_factory=dict)
+    training_accuracy: float = 0.0
+    normalizer: FeatureNormalizer = field(default_factory=FeatureNormalizer)
+
+
+class BitFlipTrainer:
+    """Algorithm 2 — train the bit-flipping network during QCore calibration.
+
+    Parameters
+    ----------
+    bits:
+        Bit-width of the main quantized model (the BF network is quantized to
+        the same width after training).
+    hidden_channels:
+        Width of the BF network's convolutional layer.
+    bf_epochs:
+        Epochs used to fit the BF classifier on the recorded
+        (features, code-change) pairs.
+    max_samples:
+        Cap on the number of recorded parameter observations (keeps the BF
+        fitting cost negligible, as intended by the paper).
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        hidden_channels: int = 8,
+        bf_epochs: int = 30,
+        bf_lr: float = 0.01,
+        max_samples: int = 20000,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.bits = bits
+        self.hidden_channels = hidden_channels
+        self.bf_epochs = bf_epochs
+        self.bf_lr = bf_lr
+        self.max_samples = max_samples
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def train(
+        self,
+        qmodel: QuantizedModel,
+        calibration_data: Dataset | QCoreSet,
+        calibration_epochs: int = 20,
+        calibration_lr: float = 0.01,
+        batch_size: int = 32,
+    ) -> BitFlipTrainingResult:
+        """Calibrate ``qmodel`` with back-propagation and learn the BF network.
+
+        The main model *is* calibrated by this call (it is the initial,
+        server-side calibration of Figure 1(b)); the BF network is the
+        by-product that travels to the edge with the model.
+        """
+        if isinstance(calibration_data, QCoreSet):
+            calibration_data = calibration_data.as_dataset()
+        collected_features: List[np.ndarray] = []
+        collected_targets: List[np.ndarray] = []
+        normalizer = FeatureNormalizer()
+
+        # Features are extracted at the *start* of every calibration epoch and
+        # paired with the parameter movement observed during that epoch — the
+        # (Δa, Δw) pairs of Algorithm 2.  The supervised direction is the sign
+        # of the latent (pre-quantization) weight change, i.e. how
+        # back-propagation moved each parameter; the magnitude is irrelevant
+        # because the edge update is restricted to {-1, 0, +1} code steps.
+        state = {
+            "features": extract_parameter_features(
+                qmodel, calibration_data.features, normalizer=normalizer, fit_normalizer=True
+            ),
+            "latent": {name: values.copy() for name, values in qmodel.latent.items()},
+        }
+
+        def hook(epoch: int, qm: QuantizedModel, before: Dict[str, np.ndarray], after: Dict[str, np.ndarray]) -> None:
+            previous_features = state["features"]
+            previous_latent = state["latent"]
+            for name, feats in previous_features.items():
+                delta = (qm.latent[name] - previous_latent[name]).reshape(-1)
+                scale = qm.qtensors[name].scale
+                threshold = 0.05 * scale
+                target = np.zeros_like(delta)
+                target[delta > threshold] = 1.0
+                target[delta < -threshold] = -1.0
+                collected_features.append(feats)
+                collected_targets.append(target)
+            state["features"] = extract_parameter_features(
+                qm, calibration_data.features, normalizer=normalizer, fit_normalizer=True
+            )
+            state["latent"] = {name: values.copy() for name, values in qm.latent.items()}
+
+        calibration = calibrate_with_backprop(
+            qmodel,
+            calibration_data.features,
+            calibration_data.labels,
+            epochs=calibration_epochs,
+            lr=calibration_lr,
+            batch_size=batch_size,
+            rng=self.rng,
+            epoch_hook=hook,
+        )
+
+        features = np.concatenate(collected_features, axis=0) if collected_features else np.zeros((0, NUM_FEATURES))
+        targets = np.concatenate(collected_targets, axis=0) if collected_targets else np.zeros((0,))
+        features, targets = self._balance(features, targets)
+        network = BitFlipNetwork(
+            num_features=NUM_FEATURES, hidden_channels=self.hidden_channels, rng=self.rng
+        )
+        training_accuracy = self._fit(network, features, targets)
+        network.quantize_(self.bits)
+        class_counts = {
+            int(value - 1): int(count)
+            for value, count in zip(*np.unique(targets + 1, return_counts=True))
+        } if targets.size else {}
+        return BitFlipTrainingResult(
+            network=network,
+            calibration=calibration,
+            samples_collected=int(targets.size),
+            class_counts=class_counts,
+            training_accuracy=training_accuracy,
+            normalizer=normalizer,
+        )
+
+    # -------------------------------------------------------------- internals
+    def _balance(self, features: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Subsample the dominant "no change" class and cap the total sample count.
+
+        Most parameters do not move in a given epoch, so the raw targets are
+        heavily skewed towards zero; balancing keeps the BF network from
+        collapsing to the trivial all-zero predictor.
+        """
+        if targets.size == 0:
+            return features, targets
+        classes = [-1, 0, 1]
+        index_sets = {c: np.flatnonzero(targets == c) for c in classes}
+        nonzero = max(len(index_sets[-1]), len(index_sets[1]), 1)
+        keep_zero = min(len(index_sets[0]), 3 * nonzero)
+        selected = []
+        for c in classes:
+            indices = index_sets[c]
+            if c == 0 and len(indices) > keep_zero:
+                indices = self.rng.choice(indices, size=keep_zero, replace=False)
+            selected.append(indices)
+        selected = np.concatenate(selected)
+        if selected.size > self.max_samples:
+            selected = self.rng.choice(selected, size=self.max_samples, replace=False)
+        self.rng.shuffle(selected)
+        return features[selected], targets[selected]
+
+    def _fit(self, network: BitFlipNetwork, features: np.ndarray, targets: np.ndarray) -> float:
+        """Fit the BF classifier; returns its final training accuracy."""
+        if targets.size == 0:
+            return 0.0
+        labels = (targets + 1).astype(np.int64)
+        optimizer = nn.Adam(network.parameters(), lr=self.bf_lr)
+        loss_fn = nn.CrossEntropyLoss()
+        batch_size = min(256, labels.size)
+        last_accuracy = 0.0
+        for _ in range(self.bf_epochs):
+            order = self.rng.permutation(labels.size)
+            correct = 0
+            for start in range(0, labels.size, batch_size):
+                batch = order[start : start + batch_size]
+                optimizer.zero_grad()
+                logits = network.forward(features[batch])
+                loss_fn.forward(logits, labels[batch])
+                network.backward(loss_fn.backward())
+                optimizer.step()
+                correct += int(np.sum(np.argmax(logits, axis=1) == labels[batch]))
+            last_accuracy = correct / labels.size
+        return last_accuracy
+
+
+@dataclass
+class BitFlipCalibrationStats:
+    """Diagnostics of one edge-side calibration run (Algorithm 3)."""
+
+    epochs: int
+    flips_per_epoch: List[int] = field(default_factory=list)
+    reverted_epochs: int = 0
+    pool_accuracy: float = 0.0
+
+    @property
+    def total_flips(self) -> int:
+        return int(sum(self.flips_per_epoch))
+
+
+class BitFlipCalibrator:
+    """Algorithm 3 — calibrate a quantized model on the edge without back-propagation.
+
+    Parameters
+    ----------
+    network:
+        The trained (and quantized) bit-flipping network.
+    epochs:
+        Number of calibration iterations; the paper observes convergence in
+        well under ten iterations because each iteration is a single
+        inference pass.
+    confidence_threshold:
+        Minimum BF softmax confidence required to apply a non-zero flip.
+    max_flip_fraction:
+        Upper bound on the fraction of parameters whose code may change per
+        iteration; only the most confident non-zero predictions are applied.
+        The paper notes that changing one parameter perturbs the activations
+        of the others, so calibration proceeds through small, stable steps.
+    validate:
+        When true (the default), each iteration is checked on the labelled
+        calibration pool — an inference-only operation the device performs
+        anyway — and reverted if it reduced pool accuracy.  This keeps the
+        process stable without ever resorting to back-propagation.
+    normalizer:
+        Feature standardisation fitted while the BF network was trained
+        (shipped with it to the edge).
+    batchnorm_refresh_passes:
+        Number of training-mode forward passes over the calibration pool that
+        refresh the BatchNorm running statistics before flipping starts (0 to
+        disable).  This is inference-only (no gradients) and corresponds to the
+        statistics refresh any calibration pass performs implicitly.
+    """
+
+    def __init__(
+        self,
+        network: BitFlipNetwork,
+        epochs: int = 3,
+        confidence_threshold: float = 0.6,
+        max_flip_fraction: float = 1.0,
+        validate: bool = True,
+        normalizer: Optional[FeatureNormalizer] = None,
+        batchnorm_refresh_passes: int = 5,
+    ):
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if not 0.0 <= confidence_threshold < 1.0:
+            raise ValueError("confidence_threshold must lie in [0, 1)")
+        if not 0.0 < max_flip_fraction <= 1.0:
+            raise ValueError("max_flip_fraction must lie in (0, 1]")
+        if batchnorm_refresh_passes < 0:
+            raise ValueError("batchnorm_refresh_passes must be non-negative")
+        self.network = network
+        self.epochs = epochs
+        self.confidence_threshold = confidence_threshold
+        self.max_flip_fraction = max_flip_fraction
+        self.validate = validate
+        self.normalizer = normalizer
+        self.batchnorm_refresh_passes = batchnorm_refresh_passes
+
+    def _refresh_batchnorm_statistics(self, qmodel: QuantizedModel, data: Dataset) -> None:
+        """Update BatchNorm running statistics with training-mode forward passes."""
+        qmodel.sync()
+        qmodel.model.train()
+        for _ in range(self.batchnorm_refresh_passes):
+            qmodel.model.forward(data.features)
+        qmodel.model.eval()
+
+    def _propose_flips(
+        self, qmodel: QuantizedModel, data: Dataset
+    ) -> Tuple[Dict[str, np.ndarray], int]:
+        """One BF inference pass: the most confident flips, capped per iteration."""
+        feature_map = extract_parameter_features(
+            qmodel, data.features, normalizer=self.normalizer
+        )
+        per_name: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        all_confidences = []
+        total_parameters = 0
+        for name, feats in feature_map.items():
+            flips, confidence = self.network.predict_flips_with_confidence(
+                feats, confidence_threshold=self.confidence_threshold
+            )
+            per_name[name] = (flips, confidence)
+            total_parameters += flips.shape[0]
+            all_confidences.append(np.where(flips != 0, confidence, -np.inf))
+        budget = max(1, int(self.max_flip_fraction * total_parameters))
+        # Keep only the `budget` most confident non-zero proposals globally.
+        stacked = np.concatenate(all_confidences) if all_confidences else np.zeros(0)
+        nonzero_total = int(np.sum(np.isfinite(stacked)))
+        if nonzero_total > budget:
+            threshold = np.partition(stacked, -budget)[-budget]
+        else:
+            threshold = -np.inf
+        flip_map: Dict[str, np.ndarray] = {}
+        applied = 0
+        for name, (flips, confidence) in per_name.items():
+            keep = (flips != 0) & (confidence >= threshold)
+            if not np.any(keep):
+                continue
+            selected = np.where(keep, flips, 0)
+            applied += int(np.sum(selected != 0))
+            flip_map[name] = selected.reshape(qmodel.qtensors[name].codes.shape)
+        return flip_map, applied
+
+    def calibrate(
+        self,
+        qmodel: QuantizedModel,
+        data: Dataset,
+        epoch_callback=None,
+    ) -> BitFlipCalibrationStats:
+        """Update ``qmodel``'s integer codes using BF inference only.
+
+        ``data`` is the union of the QCore and the incoming stream batch
+        (Algorithm 3, line 3).  ``epoch_callback(epoch, qmodel)`` is invoked
+        after every iteration; the QCore updater uses it to track quantization
+        misses while calibration is running (Algorithm 4 runs in parallel).
+        """
+        if len(data) == 0:
+            raise ValueError("calibration data must contain at least one example")
+        stats = BitFlipCalibrationStats(epochs=self.epochs)
+        if self.batchnorm_refresh_passes > 0:
+            self._refresh_batchnorm_statistics(qmodel, data)
+        pool_accuracy = (
+            qmodel.evaluate(data.features, data.labels) if self.validate else 0.0
+        )
+        for epoch in range(self.epochs):
+            flips, flip_count = self._propose_flips(qmodel, data)
+            snapshot = qmodel.snapshot_codes() if self.validate else None
+            if flips:
+                qmodel.apply_flips(flips)
+            accepted = True
+            if self.validate and flips:
+                new_accuracy = qmodel.evaluate(data.features, data.labels)
+                if new_accuracy + 1e-9 < pool_accuracy:
+                    qmodel.restore_codes(snapshot)
+                    stats.reverted_epochs += 1
+                    accepted = False
+                else:
+                    pool_accuracy = new_accuracy
+            stats.flips_per_epoch.append(flip_count if accepted else 0)
+            if epoch_callback is not None:
+                epoch_callback(epoch, qmodel)
+        stats.pool_accuracy = pool_accuracy
+        return stats

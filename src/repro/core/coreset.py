@@ -1,0 +1,137 @@
+"""The QCore data structure deployed alongside a quantized model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+@dataclass
+class QCoreSet:
+    """A quantization-aware coreset: data, labels and per-example miss counts.
+
+    The QCore is the only training-related data structure kept on the edge
+    device.  It serves two purposes simultaneously: it is the calibration set
+    for the quantized model, and it is the replay memory that prevents
+    catastrophic forgetting when stream batches arrive (Section 3.4).
+
+    Attributes
+    ----------
+    features, labels:
+        The stored examples, same layout as :class:`repro.data.Dataset`.
+    miss_counts:
+        The quantization-miss count of every stored example at the time it was
+        selected (used when re-sampling during updates).
+    num_classes:
+        Size of the label space.
+    levels:
+        Quantization levels the QCore was built to support.
+    budget:
+        Maximum number of examples the device can store (the paper uses 30).
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    miss_counts: np.ndarray
+    num_classes: int
+    levels: List[int] = field(default_factory=list)
+    budget: int = 30
+    name: str = "qcore"
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.miss_counts = np.asarray(self.miss_counts, dtype=np.int64)
+        if not (
+            self.features.shape[0] == self.labels.shape[0] == self.miss_counts.shape[0]
+        ):
+            raise ValueError("features, labels and miss_counts must have equal length")
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if len(self) > self.budget:
+            raise ValueError(
+                f"QCore holds {len(self)} examples which exceeds its budget {self.budget}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Number of stored examples."""
+        return len(self)
+
+    def as_dataset(self) -> Dataset:
+        """View the QCore as a plain dataset (for calibration calls)."""
+        return Dataset(
+            features=self.features,
+            labels=self.labels,
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Number of stored examples per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def memory_bytes(self) -> int:
+        """Approximate storage cost on the edge device."""
+        return int(self.features.nbytes + self.labels.nbytes + self.miss_counts.nbytes)
+
+    def miss_distribution(self) -> dict:
+        """Histogram of the stored examples' miss counts."""
+        unique, counts = np.unique(self.miss_counts, return_counts=True)
+        return {int(k): int(n) for k, n in zip(unique, counts)}
+
+    def replicated(self, factor: int) -> Dataset:
+        """Return the QCore repeated ``factor`` times as a dataset.
+
+        Algorithm 4 (line 4) scales the QCore up to the stream batch size
+        before merging, so the old knowledge is not swamped by the new batch.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return Dataset(
+            features=np.tile(self.features, (factor,) + (1,) * (self.features.ndim - 1)),
+            labels=np.tile(self.labels, factor),
+            num_classes=self.num_classes,
+            name=f"{self.name}-x{factor}",
+        )
+
+    def copy(self) -> "QCoreSet":
+        """Deep copy (each deployed model specialises its own QCore, Figure 7)."""
+        return QCoreSet(
+            features=self.features.copy(),
+            labels=self.labels.copy(),
+            miss_counts=self.miss_counts.copy(),
+            num_classes=self.num_classes,
+            levels=list(self.levels),
+            budget=self.budget,
+            name=self.name,
+        )
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Dataset,
+        miss_counts: Optional[np.ndarray] = None,
+        levels: Optional[List[int]] = None,
+        budget: Optional[int] = None,
+        name: str = "qcore",
+    ) -> "QCoreSet":
+        """Wrap a dataset (e.g. a sampled subset) as a QCore."""
+        if miss_counts is None:
+            miss_counts = np.zeros(len(dataset), dtype=np.int64)
+        return cls(
+            features=dataset.features.copy(),
+            labels=dataset.labels.copy(),
+            miss_counts=np.asarray(miss_counts, dtype=np.int64),
+            num_classes=dataset.num_classes,
+            levels=list(levels) if levels is not None else [],
+            budget=budget if budget is not None else len(dataset),
+            name=name,
+        )

@@ -1,0 +1,348 @@
+"""End-to-end QCore framework (Figures 1(b), 3 and 7 of the paper).
+
+The pipeline stitches the pieces together:
+
+1. **Training + QCore generation** (server): a full-precision classifier is
+   trained while quantization misses are tracked; the QCore is sampled from
+   the combined miss distribution (Algorithm 1).
+2. **Quantization + initial calibration** (server): for a chosen bit-width the
+   model is quantized and calibrated on the QCore with back-propagation, and
+   the bit-flipping network is trained as a by-product (Algorithm 2).
+3. **Edge deployment**: the quantized model, the BF network and the QCore are
+   shipped to the device.  For every incoming stream batch the model is
+   calibrated with BF inference only (Algorithm 3) while the QCore is updated
+   from the merged pool (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.core.bitflip import (
+    BitFlipCalibrator,
+    BitFlipNetwork,
+    BitFlipTrainer,
+)
+from repro.core.coreset import QCoreSet
+from repro.core.qcore_builder import QCoreBuildResult, QCoreBuilder
+from repro.core.update import QCoreUpdater
+from repro.data.dataset import Dataset
+from repro.data.streams import StreamScenario
+from repro.nn.module import Module
+from repro.quantization.calibration import calibrate_with_backprop
+from repro.quantization.qmodel import QuantizedModel, quantize_model
+
+
+@dataclass
+class BatchReport:
+    """Diagnostics for one processed stream batch."""
+
+    batch_index: int
+    accuracy: float
+    calibration_seconds: float
+    flips_applied: int
+    misses_observed: int
+    qcore_size: int
+
+
+@dataclass
+class StreamRunResult:
+    """Result of running a full continual-calibration stream."""
+
+    scenario: str
+    bits: int
+    reports: List[BatchReport] = field(default_factory=list)
+
+    @property
+    def batch_accuracies(self) -> List[float]:
+        return [report.accuracy for report in self.reports]
+
+    @property
+    def average_accuracy(self) -> float:
+        """Average accuracy across stream batches (the paper's headline metric)."""
+        if not self.reports:
+            return 0.0
+        return float(np.mean(self.batch_accuracies))
+
+    @property
+    def total_calibration_seconds(self) -> float:
+        return float(sum(report.calibration_seconds for report in self.reports))
+
+    @property
+    def average_calibration_seconds(self) -> float:
+        if not self.reports:
+            return 0.0
+        return self.total_calibration_seconds / len(self.reports)
+
+
+class EdgeDeployment:
+    """A quantized model deployed on an edge device together with its QCore.
+
+    Parameters
+    ----------
+    qmodel:
+        The quantized classifier.
+    bitflip:
+        The trained bit-flipping network for this bit-width.
+    qcore:
+        The device's private copy of the QCore (each deployment specialises
+        its own copy, Figure 7).
+    use_bitflip / use_update:
+        Ablation switches; disabling them reproduces the paper's ``NoBF`` and
+        ``NoUpda`` variants of Table 7.
+    """
+
+    def __init__(
+        self,
+        qmodel: QuantizedModel,
+        bitflip: BitFlipNetwork,
+        qcore: QCoreSet,
+        calibration_epochs: int = 3,
+        confidence_threshold: float = 0.6,
+        use_bitflip: bool = True,
+        use_update: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        feature_normalizer=None,
+    ):
+        self.qmodel = qmodel
+        self.bitflip = bitflip
+        self.qcore = qcore.copy()
+        self.use_bitflip = use_bitflip
+        self.use_update = use_update
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.calibrator = BitFlipCalibrator(
+            bitflip,
+            epochs=calibration_epochs,
+            confidence_threshold=confidence_threshold,
+            normalizer=feature_normalizer,
+        )
+        self.updater = QCoreUpdater(epochs=calibration_epochs, rng=self.rng)
+        self._batches_processed = 0
+
+    @property
+    def bits(self) -> int:
+        return self.qmodel.bits
+
+    def evaluate(self, dataset: Dataset) -> float:
+        """Accuracy of the deployed quantized model on ``dataset``."""
+        return self.qmodel.evaluate(dataset.features, dataset.labels)
+
+    def process_batch(self, batch: Dataset) -> Dict[str, float]:
+        """Absorb one labelled stream batch: calibrate the model, update the QCore.
+
+        Returns a dictionary of diagnostics (elapsed seconds, number of bit
+        flips applied, misses observed during the update).
+        """
+        if len(batch) == 0:
+            raise ValueError("stream batch must contain at least one example")
+        start = time.perf_counter()
+        pool = self.updater.build_pool(self.qcore, batch)
+        tracker, observer = self.updater.make_observer(pool, self.bits)
+        flips_applied = 0
+        if self.use_bitflip:
+            stats = self.calibrator.calibrate(self.qmodel, pool, epoch_callback=observer)
+            flips_applied = stats.total_flips
+        else:
+            # NoBF ablation: the model is frozen on the edge; we still observe
+            # misses so the QCore update has a signal to work with.
+            for epoch in range(self.calibrator.epochs):
+                observer(epoch, self.qmodel)
+        misses_observed = 0
+        if self.use_update:
+            update = self.updater.observe_and_resample(
+                self.qcore, batch, tracker, pool, self.bits
+            )
+            self.qcore = update.qcore
+            misses_observed = update.misses_observed
+        elapsed = time.perf_counter() - start
+        self._batches_processed += 1
+        return {
+            "seconds": elapsed,
+            "flips_applied": float(flips_applied),
+            "misses_observed": float(misses_observed),
+            "qcore_size": float(len(self.qcore)),
+        }
+
+
+class QCoreFramework:
+    """High-level API covering the full QCore life cycle.
+
+    Typical usage::
+
+        framework = QCoreFramework(levels=(2, 4, 8), qcore_size=30, seed=0)
+        framework.fit(model, train_dataset)
+        deployment = framework.deploy(bits=4)
+        for batch in stream_batches:
+            deployment.process_batch(batch)
+            accuracy = deployment.evaluate(test_slice)
+
+    Parameters
+    ----------
+    levels:
+        Quantization levels tracked while building the QCore.
+    qcore_size:
+        Storage budget of the QCore (number of examples).
+    train_epochs:
+        Full-precision training epochs (server side).
+    calibration_epochs:
+        Back-propagation epochs of the initial (server-side) calibration,
+        which double as BF-network supervision.
+    edge_calibration_epochs:
+        Bit-flip calibration iterations per stream batch (edge side).
+    lr / batch_size:
+        Optimisation settings shared by training and calibration.
+    confidence_threshold:
+        BF confidence required to apply a non-zero flip on the edge.
+    seed:
+        Seed for all stochastic components of the framework.
+    """
+
+    def __init__(
+        self,
+        levels=(2, 4, 8),
+        qcore_size: int = 30,
+        train_epochs: int = 15,
+        calibration_epochs: int = 15,
+        edge_calibration_epochs: int = 3,
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        batch_size: int = 32,
+        confidence_threshold: float = 0.6,
+        seed: int = 0,
+    ):
+        self.levels = tuple(sorted(set(int(level) for level in levels)))
+        self.qcore_size = qcore_size
+        self.train_epochs = train_epochs
+        self.calibration_epochs = calibration_epochs
+        self.edge_calibration_epochs = edge_calibration_epochs
+        self.lr = lr
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.confidence_threshold = confidence_threshold
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.builder = QCoreBuilder(levels=self.levels, size=qcore_size)
+        self.model: Optional[Module] = None
+        self.build_result: Optional[QCoreBuildResult] = None
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, model: Module, train_dataset: Dataset) -> QCoreBuildResult:
+        """Train the full-precision model and build the QCore (Algorithm 1)."""
+        optimizer = nn.SGD(model.parameters(), lr=self.lr, momentum=self.momentum)
+        self.build_result = self.builder.build_during_training(
+            model,
+            optimizer,
+            train_dataset,
+            epochs=self.train_epochs,
+            batch_size=self.batch_size,
+            rng=self.rng,
+        )
+        self.model = model
+        return self.build_result
+
+    @property
+    def qcore(self) -> QCoreSet:
+        """The QCore built by :meth:`fit`."""
+        if self.build_result is None:
+            raise RuntimeError("call fit() before accessing the QCore")
+        return self.build_result.qcore
+
+    # ---------------------------------------------------------------- deploy
+    def deploy(
+        self,
+        bits: int,
+        qcore: Optional[QCoreSet] = None,
+        use_bitflip: bool = True,
+        use_update: bool = True,
+    ) -> EdgeDeployment:
+        """Quantize, calibrate and package a deployment for ``bits`` bits.
+
+        The full-precision model is left untouched; the deployment receives
+        its own quantized copy, its own QCore copy and a freshly trained
+        bit-flipping network (Algorithm 2 runs inside this call).
+        """
+        if self.model is None or self.build_result is None:
+            raise RuntimeError("call fit() before deploy()")
+        qcore = qcore if qcore is not None else self.build_result.qcore
+        quantized = quantize_model(copy.deepcopy(self.model), bits=bits)
+        trainer = BitFlipTrainer(bits=bits, rng=self.rng)
+        bf_result = trainer.train(
+            quantized,
+            qcore,
+            calibration_epochs=self.calibration_epochs,
+            calibration_lr=self.lr,
+            batch_size=self.batch_size,
+        )
+        return EdgeDeployment(
+            qmodel=quantized,
+            bitflip=bf_result.network,
+            qcore=qcore,
+            calibration_epochs=self.edge_calibration_epochs,
+            confidence_threshold=self.confidence_threshold,
+            use_bitflip=use_bitflip,
+            use_update=use_update,
+            rng=np.random.default_rng(self.seed + bits),
+            feature_normalizer=bf_result.normalizer,
+        )
+
+    def calibrate_only(self, bits: int, qcore: Optional[QCoreSet] = None) -> QuantizedModel:
+        """Quantize and BP-calibrate a model on the QCore without the edge machinery.
+
+        Used by the Table 4 / Table 8 experiments that study the coreset in
+        isolation (no continual calibration).
+        """
+        if self.model is None:
+            raise RuntimeError("call fit() before calibrate_only()")
+        qcore = qcore if qcore is not None else self.qcore
+        quantized = quantize_model(copy.deepcopy(self.model), bits=bits)
+        data = qcore.as_dataset()
+        calibrate_with_backprop(
+            quantized,
+            data.features,
+            data.labels,
+            epochs=self.calibration_epochs,
+            lr=self.lr,
+            batch_size=self.batch_size,
+            rng=self.rng,
+        )
+        return quantized
+
+    # ------------------------------------------------------------ run stream
+    def run_stream(
+        self,
+        model: Module,
+        scenario: StreamScenario,
+        bits: int,
+        use_bitflip: bool = True,
+        use_update: bool = True,
+    ) -> StreamRunResult:
+        """Execute the complete continual-calibration protocol for one scenario.
+
+        Trains on the scenario's source domain (if :meth:`fit` has not been
+        called), deploys at ``bits`` bits, then processes the 10 stream
+        batches, evaluating on each batch's test slice after calibration.
+        """
+        if self.build_result is None:
+            self.fit(model, scenario.source.train)
+        deployment = self.deploy(bits, use_bitflip=use_bitflip, use_update=use_update)
+        result = StreamRunResult(scenario=scenario.description, bits=bits)
+        for batch in scenario.batches:
+            diagnostics = deployment.process_batch(batch.data)
+            accuracy = deployment.evaluate(batch.test)
+            result.reports.append(
+                BatchReport(
+                    batch_index=batch.index,
+                    accuracy=accuracy,
+                    calibration_seconds=diagnostics["seconds"],
+                    flips_applied=int(diagnostics["flips_applied"]),
+                    misses_observed=int(diagnostics["misses_observed"]),
+                    qcore_size=int(diagnostics["qcore_size"]),
+                )
+            )
+        return result

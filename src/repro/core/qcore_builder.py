@@ -1,0 +1,255 @@
+"""Algorithm 1 — building the quantization-aware QCore during training.
+
+The builder interleaves full-precision training with *online* quantization:
+after every epoch the current model is temporarily quantized at each target
+bit-width, evaluated on the full training set, and quantization misses are
+recorded.  Once training finishes, the miss distributions drive a stratified
+sampling step that keeps the distribution's shape at a fraction of the size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.coreset import QCoreSet
+from repro.core.quant_misses import MissDistribution, QuantizationMissTracker
+from repro.data.dataset import Dataset
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.training import TrainingHistory, predict_labels, train_epoch
+from repro.quantization.qmodel import temporarily_quantized
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass
+class QCoreBuildResult:
+    """Everything Algorithm 1 produces.
+
+    Attributes
+    ----------
+    qcore:
+        The combined (multi-level) QCore.
+    tracker:
+        The raw quantization-miss tracker; per-level and full-precision
+        subsets (Table 4's Core 2 / 4 / 8 / 32) can be re-sampled from it.
+    history:
+        Full-precision training history.
+    """
+
+    qcore: QCoreSet
+    tracker: QuantizationMissTracker
+    history: TrainingHistory = field(default_factory=TrainingHistory)
+
+
+class QCoreBuilder:
+    """Builds quantization-aware coresets while training a full-precision model.
+
+    Parameters
+    ----------
+    levels:
+        Quantization levels to evaluate online (the paper uses 2, 4 and 8).
+    size:
+        Number of examples the QCore may hold (the paper's default is 30).
+    track_full_precision:
+        Whether to also track the full-precision model's forgetting events
+        (level 32), needed for the Core 32 baseline of Table 4.
+    """
+
+    def __init__(
+        self,
+        levels: Iterable[int] = (2, 4, 8),
+        size: int = 30,
+        track_full_precision: bool = True,
+    ):
+        self.levels = sorted(set(int(level) for level in levels))
+        if not self.levels:
+            raise ValueError("at least one quantization level is required")
+        self.size = ensure_positive_int(size, "size")
+        self.track_full_precision = track_full_precision
+
+    # ------------------------------------------------------------------ build
+    def build_during_training(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        train_dataset: Dataset,
+        epochs: int,
+        batch_size: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> QCoreBuildResult:
+        """Train ``model`` and build a QCore along the way (Algorithm 1).
+
+        The model is trained in place with cross-entropy.  After every epoch,
+        the model is temporarily quantized at each level in :attr:`levels` and
+        evaluated on the full training set to update the quantization-miss
+        counters; the full-precision model itself is evaluated as level 32.
+        """
+        ensure_positive_int(epochs, "epochs")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        tracked_levels = list(self.levels)
+        if self.track_full_precision:
+            tracked_levels.append(QuantizationMissTracker.FULL_PRECISION_LEVEL)
+        tracker = QuantizationMissTracker(len(train_dataset), tracked_levels)
+        history = TrainingHistory()
+
+        for _ in range(epochs):
+            loss, accuracy = train_epoch(
+                model,
+                optimizer,
+                train_dataset.features,
+                train_dataset.labels,
+                batch_size=batch_size,
+                rng=rng,
+            )
+            history.append(loss, accuracy)
+            self._observe_epoch(model, train_dataset, tracker)
+
+        qcore = self.sample_qcore(
+            train_dataset,
+            tracker.combined_misses_per_example(self.levels),
+            rng=rng,
+            name="qcore",
+        )
+        return QCoreBuildResult(qcore=qcore, tracker=tracker, history=history)
+
+    def _observe_epoch(
+        self, model: Module, train_dataset: Dataset, tracker: QuantizationMissTracker
+    ) -> None:
+        """Quantize the model online at every level and record misses (lines 7–11)."""
+        features, labels = train_dataset.features, train_dataset.labels
+        for level in self.levels:
+            with temporarily_quantized(model, bits=level):
+                predictions = predict_labels(model, features)
+            tracker.observe_predictions(level, predictions, labels)
+        if self.track_full_precision:
+            predictions = predict_labels(model, features)
+            tracker.observe_predictions(
+                QuantizationMissTracker.FULL_PRECISION_LEVEL, predictions, labels
+            )
+
+    # --------------------------------------------------------------- sampling
+    def sample_qcore(
+        self,
+        dataset: Dataset,
+        misses_per_example: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        size: Optional[int] = None,
+        name: str = "qcore",
+    ) -> QCoreSet:
+        """Stratified sampling that replicates the miss distribution (line 15).
+
+        The target number of examples drawn from each miss-count bucket is
+        proportional to the bucket's share of the full training set; rounding
+        residues are resolved by largest-remainder allocation so the subset
+        has exactly ``size`` examples.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        size = self.size if size is None else ensure_positive_int(size, "size")
+        misses_per_example = np.asarray(misses_per_example, dtype=np.int64)
+        if misses_per_example.shape[0] != len(dataset):
+            raise ValueError("misses_per_example must have one entry per dataset example")
+        if size > len(dataset):
+            raise ValueError(
+                f"requested QCore size {size} exceeds dataset size {len(dataset)}"
+            )
+
+        buckets = self._bucket_indices(misses_per_example)
+        allocation = self._allocate(buckets, size)
+        selected: List[int] = []
+        for k, count in allocation.items():
+            if count == 0:
+                continue
+            indices = buckets[k]
+            chosen = rng.choice(indices, size=count, replace=False)
+            selected.extend(chosen.tolist())
+        selected = np.asarray(sorted(selected), dtype=np.int64)
+        subset = dataset.subset(selected, name=name)
+        return QCoreSet(
+            features=subset.features,
+            labels=subset.labels,
+            miss_counts=misses_per_example[selected],
+            num_classes=dataset.num_classes,
+            levels=list(self.levels),
+            budget=size,
+            name=name,
+        )
+
+    def build_variant(
+        self,
+        dataset: Dataset,
+        tracker: QuantizationMissTracker,
+        variant: str,
+        rng: Optional[np.random.Generator] = None,
+        size: Optional[int] = None,
+    ) -> QCoreSet:
+        """Build one of the subset variants compared in Table 4.
+
+        ``variant`` is one of:
+
+        * ``"qcore"`` — combined multi-level distribution (the proposal);
+        * ``"core-<j>"`` — single-level distribution for bit-width ``j``
+          (e.g. ``"core-4"``); ``"core-32"`` uses the full-precision misses;
+        * ``"random"`` — uniform random subset of the same size.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        size = self.size if size is None else size
+        variant = variant.lower()
+        if variant == "qcore":
+            misses = tracker.combined_misses_per_example(self.levels)
+            return self.sample_qcore(dataset, misses, rng=rng, size=size, name="qcore")
+        if variant == "random":
+            indices = rng.choice(len(dataset), size=size, replace=False)
+            subset = dataset.subset(np.sort(indices), name="random-subset")
+            return QCoreSet.from_dataset(subset, budget=size, name="random-subset")
+        if variant.startswith("core-"):
+            level = int(variant.split("-", 1)[1])
+            misses = tracker.misses_per_example(level)
+            return self.sample_qcore(
+                dataset, misses, rng=rng, size=size, name=f"core-{level}"
+            )
+        raise ValueError(
+            f"unknown variant {variant!r}; expected 'qcore', 'random' or 'core-<bits>'"
+        )
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _bucket_indices(misses_per_example: np.ndarray) -> Dict[int, np.ndarray]:
+        """Group example indices by their miss count."""
+        buckets: Dict[int, np.ndarray] = {}
+        for k in np.unique(misses_per_example):
+            buckets[int(k)] = np.flatnonzero(misses_per_example == k)
+        return buckets
+
+    @staticmethod
+    def _allocate(buckets: Dict[int, np.ndarray], size: int) -> Dict[int, int]:
+        """Largest-remainder allocation of ``size`` slots across buckets."""
+        total = sum(len(indices) for indices in buckets.values())
+        raw = {k: size * len(indices) / total for k, indices in buckets.items()}
+        allocation = {k: int(np.floor(v)) for k, v in raw.items()}
+        # Never allocate more than a bucket holds.
+        for k in allocation:
+            allocation[k] = min(allocation[k], len(buckets[k]))
+        remaining = size - sum(allocation.values())
+        if remaining > 0:
+            remainders = sorted(
+                buckets.keys(),
+                key=lambda k: (raw[k] - np.floor(raw[k])),
+                reverse=True,
+            )
+            index = 0
+            while remaining > 0 and index < 10 * len(remainders):
+                k = remainders[index % len(remainders)]
+                if allocation[k] < len(buckets[k]):
+                    allocation[k] += 1
+                    remaining -= 1
+                index += 1
+        return allocation
+
+
+def distribution_of(qcore: QCoreSet) -> MissDistribution:
+    """Miss-count distribution of the examples stored in a QCore."""
+    counts = qcore.miss_distribution()
+    return MissDistribution(counts=counts, total=sum(counts.values()))

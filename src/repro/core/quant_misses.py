@@ -1,0 +1,209 @@
+"""Quantization-miss tracking (Section 3.2.2, Eq. 2 and Figure 4 of the paper).
+
+A *quantization miss* for example ``x_i`` occurs when the indicator
+``TP_i`` — whether the example is classified correctly — flips from 1 to 0
+between consecutive training steps for a given quantized model.  Counting
+misses per example and per quantization level yields, after training, a
+probability mass function over miss counts that characterises how difficult
+each example is for each quantized deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class MissDistribution:
+    """Probability mass function over quantization-miss counts.
+
+    Attributes
+    ----------
+    counts:
+        Mapping ``k -> N_k`` (number of examples with exactly ``k`` misses).
+    total:
+        Total number of examples the distribution was computed over.
+    """
+
+    counts: Dict[int, int]
+    total: int
+
+    def probability(self, k: int) -> float:
+        """P(an example has exactly ``k`` misses)."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(k, 0) / self.total
+
+    def support(self) -> List[int]:
+        """Sorted miss counts with at least one example."""
+        return sorted(self.counts)
+
+    @property
+    def max_misses(self) -> int:
+        """The largest observed miss count ``K`` (0 if no example was observed)."""
+        return max(self.counts) if self.counts else 0
+
+    def expected_misses(self) -> float:
+        """Mean number of misses per example (the cost of Eq. 4)."""
+        if self.total == 0:
+            return 0.0
+        return sum(k * n for k, n in self.counts.items()) / self.total
+
+    def as_arrays(self) -> tuple:
+        """Return ``(miss_counts, example_counts)`` arrays sorted by miss count."""
+        keys = np.array(self.support(), dtype=np.int64)
+        values = np.array([self.counts[k] for k in keys], dtype=np.int64)
+        return keys, values
+
+    def scaled(self, fraction: float) -> "MissDistribution":
+        """Distribution of a subset holding ``fraction`` of the examples.
+
+        Uses the paper's rounding ``⌊λ N_k⌉`` (Eq. 5); the information loss of
+        the subset is analysed in :mod:`repro.core.info_loss`.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must lie in (0, 1]")
+        scaled_counts = {
+            k: int(np.rint(fraction * n)) for k, n in self.counts.items()
+        }
+        scaled_counts = {k: n for k, n in scaled_counts.items() if n > 0}
+        return MissDistribution(counts=scaled_counts, total=sum(scaled_counts.values()))
+
+
+class QuantizationMissTracker:
+    """Tracks per-example quantization misses across training steps and levels.
+
+    Parameters
+    ----------
+    num_examples:
+        Number of examples in the (full) training set.
+    levels:
+        Quantization levels (bit-widths) observed during training.  The
+        paper's Algorithm 1 uses {2, 4, 8}; level 32 denotes the
+        full-precision model whose misses come from training alone.
+    """
+
+    FULL_PRECISION_LEVEL = 32
+
+    def __init__(self, num_examples: int, levels: Iterable[int]):
+        if num_examples <= 0:
+            raise ValueError("num_examples must be positive")
+        self.num_examples = num_examples
+        self.levels = sorted(set(int(level) for level in levels))
+        if not self.levels:
+            raise ValueError("at least one quantization level is required")
+        self.misses: Dict[int, np.ndarray] = {
+            level: np.zeros(num_examples, dtype=np.int64) for level in self.levels
+        }
+        self._previous_correct: Dict[int, Optional[np.ndarray]] = {
+            level: None for level in self.levels
+        }
+        self.steps_observed: Dict[int, int] = {level: 0 for level in self.levels}
+
+    def observe(self, level: int, correct: np.ndarray) -> int:
+        """Record one evaluation step for ``level``.
+
+        Parameters
+        ----------
+        level:
+            Quantization level the predictions came from.
+        correct:
+            Boolean array of shape ``(num_examples,)``: ``TP_i`` of Eq. 2.
+
+        Returns
+        -------
+        int
+            Number of new misses recorded at this step (examples whose
+            indicator flipped from correct to incorrect).
+        """
+        if level not in self.misses:
+            raise KeyError(f"level {level} was not registered; known: {self.levels}")
+        correct = np.asarray(correct, dtype=bool)
+        if correct.shape != (self.num_examples,):
+            raise ValueError(
+                f"correct must have shape ({self.num_examples},), got {correct.shape}"
+            )
+        previous = self._previous_correct[level]
+        new_misses = 0
+        if previous is not None:
+            flipped = previous & ~correct
+            self.misses[level][flipped] += 1
+            new_misses = int(np.sum(flipped))
+        self._previous_correct[level] = correct.copy()
+        self.steps_observed[level] += 1
+        return new_misses
+
+    def observe_predictions(self, level: int, predictions: np.ndarray, labels: np.ndarray) -> int:
+        """Convenience wrapper: record a step from predicted and true labels."""
+        predictions = np.asarray(predictions)
+        labels = np.asarray(labels)
+        if predictions.shape != labels.shape:
+            raise ValueError("predictions and labels must have the same shape")
+        return self.observe(level, predictions == labels)
+
+    # -- distributions -------------------------------------------------------
+    def misses_per_example(self, level: int) -> np.ndarray:
+        """Miss counts of every example at ``level``."""
+        if level not in self.misses:
+            raise KeyError(f"level {level} was not registered; known: {self.levels}")
+        return self.misses[level].copy()
+
+    def combined_misses_per_example(self, levels: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Sum of each example's misses across ``levels`` (Figure 4's "QM Sum")."""
+        selected = self._select_levels(levels)
+        total = np.zeros(self.num_examples, dtype=np.int64)
+        for level in selected:
+            total += self.misses[level]
+        return total
+
+    def distribution(self, level: int) -> MissDistribution:
+        """PMF of miss counts at a single quantization level (Figure 5)."""
+        return self._distribution_from_counts(self.misses_per_example(level))
+
+    def combined_distribution(self, levels: Optional[Iterable[int]] = None) -> MissDistribution:
+        """PMF of the per-example miss sums across several levels (Algorithm 1, line 14).
+
+        Combining levels highlights examples that are consistently difficult
+        for multiple quantized deployments, which is what makes a single QCore
+        usable for 2-, 4- and 8-bit models at once.
+        """
+        return self._distribution_from_counts(self.combined_misses_per_example(levels))
+
+    def aggregated_level_distribution(
+        self, levels: Optional[Iterable[int]] = None
+    ) -> MissDistribution:
+        """Alternative combination: sum the per-level counts ``N_k^j`` over ``j``.
+
+        This is the literal reading of Algorithm 1 line 14; it differs from
+        :meth:`combined_distribution` (the Figure 4 reading) in that one
+        example contributes to several buckets.  The ablation benchmarks
+        compare both.
+        """
+        selected = self._select_levels(levels)
+        counts: Dict[int, int] = {}
+        for level in selected:
+            _, values = self.distribution(level).as_arrays()
+            keys, _ = self.distribution(level).as_arrays()
+            for k, n in zip(keys.tolist(), values.tolist()):
+                counts[k] = counts.get(k, 0) + n
+        return MissDistribution(counts=counts, total=sum(counts.values()))
+
+    def _select_levels(self, levels: Optional[Iterable[int]]) -> List[int]:
+        if levels is None:
+            return list(self.levels)
+        selected = [int(level) for level in levels]
+        unknown = set(selected) - set(self.levels)
+        if unknown:
+            raise KeyError(f"levels {sorted(unknown)} were not tracked; known: {self.levels}")
+        return selected
+
+    @staticmethod
+    def _distribution_from_counts(per_example: np.ndarray) -> MissDistribution:
+        unique, counts = np.unique(per_example, return_counts=True)
+        return MissDistribution(
+            counts={int(k): int(n) for k, n in zip(unique, counts)},
+            total=int(per_example.shape[0]),
+        )

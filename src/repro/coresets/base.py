@@ -1,0 +1,67 @@
+"""Common interface for coreset-construction strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.core.coreset import QCoreSet
+from repro.data.dataset import Dataset
+from repro.nn.module import Module
+
+
+class CoresetStrategy(ABC):
+    """A strategy that selects a fixed-size calibration subset of a data set.
+
+    Implementations return example *indices*; :meth:`build` wraps the
+    selection into a :class:`~repro.core.coreset.QCoreSet` so any strategy can
+    be dropped into the calibration benchmarks in place of QCore.
+    """
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def select(
+        self,
+        dataset: Dataset,
+        model: Module,
+        size: int,
+        rng: Optional[np.random.Generator] = None,
+        misses: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Return ``size`` example indices chosen from ``dataset``.
+
+        ``model`` is the trained full-precision classifier (some strategies
+        ignore it); ``misses`` is the per-example quantization-miss count when
+        available (only the normal-distribution sampler uses it).
+        """
+
+    def build(
+        self,
+        dataset: Dataset,
+        model: Module,
+        size: int,
+        rng: Optional[np.random.Generator] = None,
+        misses: Optional[np.ndarray] = None,
+    ) -> QCoreSet:
+        """Select a subset and wrap it as a :class:`QCoreSet`."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if size > len(dataset):
+            raise ValueError(
+                f"requested subset size {size} exceeds dataset size {len(dataset)}"
+            )
+        indices = np.asarray(
+            self.select(dataset, model, size, rng=rng, misses=misses), dtype=np.int64
+        )
+        if indices.shape[0] != size:
+            raise RuntimeError(
+                f"{type(self).__name__} returned {indices.shape[0]} indices, expected {size}"
+            )
+        subset = dataset.subset(np.sort(indices), name=self.name)
+        selected_misses = misses[np.sort(indices)] if misses is not None else None
+        return QCoreSet.from_dataset(
+            subset, miss_counts=selected_misses, budget=size, name=self.name
+        )

@@ -1,0 +1,72 @@
+"""k-means-based coreset: the examples closest to cluster centroids."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.coresets.base import CoresetStrategy
+from repro.data.dataset import Dataset
+from repro.nn.module import Module
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    iterations: int = 25,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's k-means; returns ``(centroids, assignments)``.
+
+    Empty clusters are re-seeded from the point farthest from its centroid,
+    which keeps exactly ``k`` non-empty clusters for the coreset selection.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    count = points.shape[0]
+    if k > count:
+        raise ValueError(f"cannot build {k} clusters from {count} points")
+    centroids = points[rng.choice(count, size=k, replace=False)].copy()
+    assignments = np.zeros(count, dtype=np.int64)
+    for _ in range(iterations):
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assignments = distances.argmin(axis=1)
+        for cluster in range(k):
+            members = points[assignments == cluster]
+            if members.shape[0] == 0:
+                farthest = int(np.argmax(distances.min(axis=1)))
+                centroids[cluster] = points[farthest]
+            else:
+                centroids[cluster] = members.mean(axis=0)
+    return centroids, assignments
+
+
+class KMeansCoreset(CoresetStrategy):
+    """Cluster the (flattened) inputs and keep the example nearest each centroid."""
+
+    name = "k-means"
+
+    def __init__(self, iterations: int = 25):
+        self.iterations = iterations
+
+    def select(
+        self,
+        dataset: Dataset,
+        model: Module,
+        size: int,
+        rng: Optional[np.random.Generator] = None,
+        misses: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        flat = dataset.features.reshape(len(dataset), -1)
+        centroids, _ = kmeans(flat, size, rng, iterations=self.iterations)
+        selected = []
+        available = np.ones(len(dataset), dtype=bool)
+        for centroid in centroids:
+            distances = np.linalg.norm(flat - centroid, axis=1)
+            distances[~available] = np.inf
+            choice = int(np.argmin(distances))
+            selected.append(choice)
+            available[choice] = False
+        return np.asarray(selected, dtype=np.int64)

@@ -1,0 +1,78 @@
+"""Sampling-based subset strategies (Table 8, top block)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.coresets.base import CoresetStrategy
+from repro.data.dataset import Dataset
+from repro.nn.module import Module
+from repro.nn.training import predict_proba
+
+
+class RandomSubset(CoresetStrategy):
+    """Uniform random subset (the paper's weakest reference point)."""
+
+    name = "Random"
+
+    def select(self, dataset, model, size, rng=None, misses=None) -> np.ndarray:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return rng.choice(len(dataset), size=size, replace=False)
+
+
+class MaxEntropySampler(CoresetStrategy):
+    """Select the examples whose predictive distribution has maximum entropy.
+
+    High-entropy examples sit near decision boundaries, so they carry the most
+    calibration signal per stored example (classic uncertainty sampling).
+    """
+
+    name = "Maximum Entropy"
+
+    def select(self, dataset, model, size, rng=None, misses=None) -> np.ndarray:
+        probabilities = predict_proba(model, dataset.features)
+        entropy = -np.sum(probabilities * np.log(probabilities + 1e-12), axis=1)
+        return np.argsort(entropy)[::-1][:size]
+
+
+class LeastConfidenceSampler(CoresetStrategy):
+    """Select the examples with the lowest maximum class probability."""
+
+    name = "Least Confidence"
+
+    def select(self, dataset, model, size, rng=None, misses=None) -> np.ndarray:
+        probabilities = predict_proba(model, dataset.features)
+        confidence = probabilities.max(axis=1)
+        return np.argsort(confidence)[:size]
+
+
+class NormalDistributionSampler(CoresetStrategy):
+    """Assume the quantization misses follow a normal distribution.
+
+    Instead of sampling proportionally to the *empirical* miss distribution
+    (what QCore does), this strategy fits a normal distribution to the miss
+    counts and samples each example with probability proportional to the
+    fitted density at its miss count.  It is the parametric ablation of the
+    QCore sampler described in Section 4.2.4.
+    """
+
+    name = "Normal Distrib."
+
+    def select(self, dataset, model, size, rng=None, misses=None) -> np.ndarray:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if misses is None:
+            raise ValueError(
+                "NormalDistributionSampler requires per-example quantization misses"
+            )
+        misses = np.asarray(misses, dtype=np.float64)
+        if misses.shape[0] != len(dataset):
+            raise ValueError("misses must have one entry per dataset example")
+        mean = float(misses.mean())
+        std = float(misses.std())
+        if std < 1e-9:
+            return rng.choice(len(dataset), size=size, replace=False)
+        density = np.exp(-0.5 * ((misses - mean) / std) ** 2)
+        probabilities = density / density.sum()
+        return rng.choice(len(dataset), size=size, replace=False, p=probabilities)

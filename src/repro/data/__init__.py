@@ -1,0 +1,41 @@
+"""Data substrate: dataset containers, synthetic dataset surrogates and streams.
+
+The paper evaluates on DSA, USC-HAD (multivariate human-activity time series)
+and Caltech10 / Office-Caltech (images), each of which is partitioned into
+*domains* (subjects, camera sources) between which the data distribution
+shifts.  Those datasets are not available offline, so this package generates
+synthetic surrogates that preserve the properties the experiments need:
+
+* a fixed number of classes with learnable structure,
+* several domains per dataset with controlled covariate shift between them,
+* train/validation/test splits per domain,
+* a stream scenario builder that splits the target domain into the 10
+  sequential batches used by the continual-calibration protocol.
+"""
+
+from repro.data.dataset import Dataset, DomainDataset, MultiDomainDataset
+from repro.data.streams import StreamBatch, StreamScenario, build_stream_scenario
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    SyntheticTimeSeriesConfig,
+    make_caltech10_surrogate,
+    make_dsa_surrogate,
+    make_usc_surrogate,
+)
+from repro.data.registry import DATASET_REGISTRY, load_dataset
+
+__all__ = [
+    "Dataset",
+    "DomainDataset",
+    "MultiDomainDataset",
+    "StreamBatch",
+    "StreamScenario",
+    "build_stream_scenario",
+    "SyntheticImageConfig",
+    "SyntheticTimeSeriesConfig",
+    "make_caltech10_surrogate",
+    "make_dsa_surrogate",
+    "make_usc_surrogate",
+    "DATASET_REGISTRY",
+    "load_dataset",
+]

@@ -1,0 +1,178 @@
+"""Dataset containers used throughout the reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A labelled collection of examples.
+
+    Attributes
+    ----------
+    features:
+        Array whose first axis indexes examples.  Time-series datasets use
+        shape ``(N, C, L)``; image datasets use ``(N, C, H, W)``.
+    labels:
+        Integer class labels of shape ``(N,)``.
+    num_classes:
+        Size of the label space (may exceed the number of labels present).
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"features ({self.features.shape[0]}) and labels "
+                f"({self.labels.shape[0]}) disagree on the number of examples"
+            )
+        if self.labels.size and (self.labels.min() < 0 or self.labels.max() >= self.num_classes):
+            raise ValueError(
+                f"labels must lie in [0, {self.num_classes}), found range "
+                f"[{self.labels.min()}, {self.labels.max()}]"
+            )
+
+    def __len__(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Shape of a single example (without the batch axis)."""
+        return tuple(self.features.shape[1:])
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to ``indices`` (copies the data)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            features=self.features[indices].copy(),
+            labels=self.labels[indices].copy(),
+            num_classes=self.num_classes,
+            name=name if name is not None else self.name,
+        )
+
+    def concat(self, other: "Dataset", name: Optional[str] = None) -> "Dataset":
+        """Concatenate two datasets with identical example shape and label space."""
+        if other.num_classes != self.num_classes:
+            raise ValueError("cannot concatenate datasets with different label spaces")
+        if other.input_shape != self.input_shape:
+            raise ValueError(
+                f"cannot concatenate example shapes {self.input_shape} and {other.input_shape}"
+            )
+        return Dataset(
+            features=np.concatenate([self.features, other.features], axis=0),
+            labels=np.concatenate([self.labels, other.labels], axis=0),
+            num_classes=self.num_classes,
+            name=name if name is not None else self.name,
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        """Return a copy with example order permuted."""
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of examples per class, shape ``(num_classes,)``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def split(
+        self, fractions: Sequence[float], rng: np.random.Generator
+    ) -> List["Dataset"]:
+        """Split into parts with the given fractions (must sum to 1), stratified by class.
+
+        Stratification keeps every class represented in every part, which the
+        paper's small validation/test partitions rely on.
+        """
+        fractions = np.asarray(fractions, dtype=np.float64)
+        if np.any(fractions <= 0) or abs(fractions.sum() - 1.0) > 1e-9:
+            raise ValueError("fractions must be positive and sum to 1")
+        parts_indices: List[List[int]] = [[] for _ in fractions]
+        for class_id in range(self.num_classes):
+            class_idx = np.flatnonzero(self.labels == class_id)
+            if class_idx.size == 0:
+                continue
+            class_idx = rng.permutation(class_idx)
+            boundaries = np.floor(np.cumsum(fractions) * class_idx.size).astype(int)
+            start = 0
+            for part, end in zip(parts_indices, boundaries):
+                part.extend(class_idx[start:end].tolist())
+                start = end
+        return [
+            self.subset(rng.permutation(np.asarray(part, dtype=np.int64)))
+            for part in parts_indices
+        ]
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of features and labels."""
+        return int(self.features.nbytes + self.labels.nbytes)
+
+
+@dataclass
+class DomainDataset:
+    """Train/validation/test splits for one domain of a dataset."""
+
+    domain: str
+    train: Dataset
+    val: Dataset
+    test: Dataset
+
+    @property
+    def num_classes(self) -> int:
+        return self.train.num_classes
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self.train.input_shape
+
+
+@dataclass
+class MultiDomainDataset:
+    """A dataset partitioned into several domains (subjects / image sources).
+
+    Mirrors the paper's experimental setup where any ordered pair of domains
+    forms a (source → target) continual-calibration scenario.
+    """
+
+    name: str
+    domains: Dict[str, DomainDataset] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.domains:
+            raise ValueError("MultiDomainDataset requires at least one domain")
+        shapes = {d.input_shape for d in self.domains.values()}
+        classes = {d.num_classes for d in self.domains.values()}
+        if len(shapes) != 1 or len(classes) != 1:
+            raise ValueError("all domains must share example shape and label space")
+
+    @property
+    def domain_names(self) -> List[str]:
+        return list(self.domains.keys())
+
+    @property
+    def num_classes(self) -> int:
+        return next(iter(self.domains.values())).num_classes
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return next(iter(self.domains.values())).input_shape
+
+    def __getitem__(self, domain: str) -> DomainDataset:
+        if domain not in self.domains:
+            raise KeyError(f"unknown domain {domain!r}; available: {self.domain_names}")
+        return self.domains[domain]
+
+    def domain_pairs(self) -> List[Tuple[str, str]]:
+        """All ordered (source, target) pairs of distinct domains."""
+        names = self.domain_names
+        return [(a, b) for a in names for b in names if a != b]

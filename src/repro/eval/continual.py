@@ -1,0 +1,114 @@
+"""The continual-calibration evaluation protocol (Section 4.1.1)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import ContinualMethod
+from repro.data.dataset import MultiDomainDataset
+from repro.data.streams import StreamScenario, build_stream_scenario
+from repro.eval.metrics import average_accuracy
+from repro.nn.module import Module
+
+
+@dataclass
+class MethodRunResult:
+    """One method's trajectory over one scenario at one bit-width."""
+
+    method: str
+    scenario: str
+    bits: int
+    batch_accuracies: List[float] = field(default_factory=list)
+    adapt_seconds: List[float] = field(default_factory=list)
+    memory_bytes: int = 0
+
+    @property
+    def average_accuracy(self) -> float:
+        """Mean accuracy across stream batches."""
+        return average_accuracy(self.batch_accuracies)
+
+    @property
+    def average_adapt_seconds(self) -> float:
+        """Mean wall-clock time of one calibration/adaptation step."""
+        if not self.adapt_seconds:
+            return 0.0
+        return float(np.mean(self.adapt_seconds))
+
+    @property
+    def total_adapt_seconds(self) -> float:
+        return float(np.sum(self.adapt_seconds))
+
+
+class ContinualEvaluator:
+    """Drives any :class:`ContinualMethod` through the streaming protocol.
+
+    Parameters
+    ----------
+    num_batches:
+        Number of stream batches the target domain is divided into (10 in the
+        paper; benchmarks may use fewer for speed).
+    seed:
+        Seed for batch splitting and any method-internal randomness.
+    """
+
+    def __init__(self, num_batches: int = 10, seed: int = 0):
+        if num_batches <= 0:
+            raise ValueError("num_batches must be positive")
+        self.num_batches = num_batches
+        self.seed = seed
+
+    def build_scenario(
+        self, dataset: MultiDomainDataset, source: str, target: str
+    ) -> StreamScenario:
+        """Construct the stream scenario for a (source, target) pair."""
+        rng = np.random.default_rng(self.seed)
+        return build_stream_scenario(
+            dataset, source, target, num_batches=self.num_batches, rng=rng
+        )
+
+    def run(
+        self,
+        method: ContinualMethod,
+        scenario: StreamScenario,
+        model: Module,
+        bits: int,
+    ) -> MethodRunResult:
+        """Run one method over one scenario at one bit-width.
+
+        The method is prepared on the scenario's source domain, then for every
+        stream batch it adapts and is evaluated on that batch's test slice.
+        """
+        rng = np.random.default_rng(self.seed)
+        method.prepare(scenario.source, model, bits, rng=rng)
+        result = MethodRunResult(method=method.name, scenario=scenario.description, bits=bits)
+        for batch in scenario.batches:
+            start = time.perf_counter()
+            method.adapt(batch.data)
+            result.adapt_seconds.append(time.perf_counter() - start)
+            result.batch_accuracies.append(method.evaluate(batch.test))
+        result.memory_bytes = method.memory_bytes()
+        return result
+
+    def run_many(
+        self,
+        methods: Sequence[ContinualMethod],
+        scenario: StreamScenario,
+        model: Module,
+        bits_list: Sequence[int],
+    ) -> Dict[str, Dict[int, MethodRunResult]]:
+        """Run several methods across several bit-widths on the same scenario.
+
+        Returns ``results[method_name][bits]``.  Every run starts from the
+        same frozen full-precision model so comparisons are apples to apples.
+        """
+        results: Dict[str, Dict[int, MethodRunResult]] = {}
+        for method in methods:
+            per_bits: Dict[int, MethodRunResult] = {}
+            for bits in bits_list:
+                per_bits[bits] = self.run(method, scenario, model, bits)
+            results[method.name] = per_bits
+        return results

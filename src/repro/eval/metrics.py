@@ -1,0 +1,50 @@
+"""Continual-learning metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def average_accuracy(batch_accuracies: Sequence[float]) -> float:
+    """Mean accuracy across stream batches — the paper's headline metric."""
+    if len(batch_accuracies) == 0:
+        return 0.0
+    values = np.asarray(batch_accuracies, dtype=np.float64)
+    if np.any((values < 0) | (values > 1)):
+        raise ValueError("accuracies must lie in [0, 1]")
+    return float(values.mean())
+
+
+def forgetting(accuracy_matrix: np.ndarray) -> float:
+    """Average forgetting over tasks.
+
+    ``accuracy_matrix[i, j]`` is the accuracy on task ``j`` after adapting to
+    task ``i``.  Forgetting of task ``j`` is the gap between the best accuracy
+    ever achieved on ``j`` and the final accuracy on ``j``; the metric is the
+    mean over all but the last task.
+    """
+    matrix = np.asarray(accuracy_matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("accuracy_matrix must be square (tasks x tasks)")
+    tasks = matrix.shape[0]
+    if tasks < 2:
+        return 0.0
+    gaps = []
+    for j in range(tasks - 1):
+        best = matrix[j:, j].max()
+        gaps.append(best - matrix[-1, j])
+    return float(np.mean(gaps))
+
+
+def backward_transfer(accuracy_matrix: np.ndarray) -> float:
+    """Average backward transfer: final accuracy minus just-learned accuracy."""
+    matrix = np.asarray(accuracy_matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("accuracy_matrix must be square (tasks x tasks)")
+    tasks = matrix.shape[0]
+    if tasks < 2:
+        return 0.0
+    transfers = [matrix[-1, j] - matrix[j, j] for j in range(tasks - 1)]
+    return float(np.mean(transfers))

@@ -1,0 +1,101 @@
+"""Plain-text result tables shaped like the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of rows as an aligned monospace table.
+
+    Floats are formatted with ``float_format``; all other values with ``str``.
+    """
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ResultsTable:
+    """Accumulates named results and renders them like a paper table.
+
+    Rows are methods (or subset types), columns are settings (bit-widths,
+    scenarios); cells are averaged when the same (row, column) pair receives
+    several values (e.g. several seeds or several domain pairs).
+    """
+
+    title: str = ""
+    _cells: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    _columns: List[str] = field(default_factory=list)
+
+    def add(self, row: str, column: str, value: float) -> None:
+        """Record one measurement for the (row, column) cell."""
+        self._cells.setdefault(row, {}).setdefault(column, []).append(float(value))
+        if column not in self._columns:
+            self._columns.append(column)
+
+    @property
+    def rows(self) -> List[str]:
+        return list(self._cells.keys())
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    def value(self, row: str, column: str) -> float:
+        """Mean of the recorded values for a cell (NaN when the cell is empty)."""
+        values = self._cells.get(row, {}).get(column, [])
+        if not values:
+            return float("nan")
+        return float(sum(values) / len(values))
+
+    def row_average(self, row: str) -> float:
+        """Mean across all columns of a row (the paper's "Avg." column)."""
+        values = [self.value(row, column) for column in self._columns]
+        values = [v for v in values if v == v]  # drop NaN
+        return float(sum(values) / len(values)) if values else float("nan")
+
+    def best_row(self, column: str) -> str:
+        """Row with the highest value in ``column``."""
+        return max(self.rows, key=lambda row: self.value(row, column))
+
+    def render(self, with_average: bool = True, float_format: str = "{:.3f}") -> str:
+        """Render to aligned text, optionally appending an Avg. column."""
+        headers = ["Method"] + self.columns + (["Avg."] if with_average else [])
+        rows = []
+        for row in self.rows:
+            cells: List[object] = [row]
+            cells.extend(self.value(row, column) for column in self.columns)
+            if with_average:
+                cells.append(self.row_average(row))
+            rows.append(cells)
+        return format_table(headers, rows, title=self.title, float_format=float_format)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested ``{row: {column: mean value}}`` representation."""
+        return {
+            row: {column: self.value(row, column) for column in self.columns}
+            for row in self.rows
+        }

@@ -1,0 +1,26 @@
+"""Classifier surrogates of the backbones used in the paper.
+
+The paper evaluates InceptionTime and OmniScaleCNN on time series, and
+ResNet18 and VGG16 on images.  Full-size versions are impractical on a numpy
+substrate, so this package provides scaled-down surrogates that keep each
+architecture's defining motif (multi-kernel inception branches, omni-scale
+kernel banks, residual blocks, deep VGG-style conv stacks) while remaining
+fast enough for the complete experimental grid.
+"""
+
+from repro.models.inception_time import InceptionTimeSurrogate
+from repro.models.omniscale_cnn import OmniScaleCNNSurrogate
+from repro.models.resnet import ResNetSurrogate
+from repro.models.vgg import VGGSurrogate
+from repro.models.mlp import MLPClassifier
+from repro.models.registry import MODEL_REGISTRY, build_model
+
+__all__ = [
+    "InceptionTimeSurrogate",
+    "OmniScaleCNNSurrogate",
+    "ResNetSurrogate",
+    "VGGSurrogate",
+    "MLPClassifier",
+    "MODEL_REGISTRY",
+    "build_model",
+]

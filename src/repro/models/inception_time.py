@@ -1,0 +1,85 @@
+"""Scaled-down InceptionTime surrogate for multivariate time series."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+
+
+def _inception_block(
+    in_channels: int,
+    branch_channels: int,
+    rng: np.random.Generator,
+    name: str,
+) -> nn.Module:
+    """One inception block: parallel convolutions with kernel sizes 1, 3 and 5.
+
+    The real InceptionTime uses bottleneck convolutions and kernel sizes up to
+    40; the surrogate keeps the parallel multi-kernel structure which is what
+    gives the architecture its receptive-field diversity.
+    """
+    branches = nn.ParallelConcat(
+        nn.Conv1d(in_channels, branch_channels, kernel_size=1, rng=rng, name=f"{name}.k1"),
+        nn.Conv1d(in_channels, branch_channels, kernel_size=3, rng=rng, name=f"{name}.k3"),
+        nn.Conv1d(in_channels, branch_channels, kernel_size=5, rng=rng, name=f"{name}.k5"),
+        axis=1,
+    )
+    out_channels = 3 * branch_channels
+    return nn.Sequential(
+        branches,
+        nn.BatchNorm(out_channels, name=f"{name}.bn"),
+        nn.ReLU(),
+    )
+
+
+class InceptionTimeSurrogate(nn.Sequential):
+    """InceptionTime-style classifier for inputs of shape ``(N, C, L)``.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of input channels (sensor axes).
+    num_classes:
+        Size of the label space.
+    branch_channels:
+        Channels per convolutional branch inside each inception block.
+    depth:
+        Number of inception blocks; a residual connection wraps each block as
+        in the original architecture.
+    rng:
+        Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        branch_channels: int = 6,
+        depth: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        layers = []
+        channels = in_channels
+        for block_index in range(depth):
+            block = _inception_block(channels, branch_channels, rng, f"inc{block_index}")
+            out_channels = 3 * branch_channels
+            shortcut = nn.Conv1d(
+                channels, out_channels, kernel_size=1, rng=rng, name=f"inc{block_index}.proj"
+            )
+            layers.append(nn.Residual(block, shortcut=shortcut))
+            channels = out_channels
+        layers.extend(
+            [
+                nn.GlobalAvgPool1d(),
+                nn.Dense(channels, num_classes, rng=rng, name="head"),
+            ]
+        )
+        super().__init__(*layers)
+        self.in_channels = in_channels
+        self.num_classes = num_classes

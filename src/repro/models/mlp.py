@@ -1,0 +1,42 @@
+"""Simple multilayer perceptron classifier (used in tests and examples)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+
+
+class MLPClassifier(nn.Sequential):
+    """Fully connected classifier for flat feature vectors of shape ``(N, D)``.
+
+    Parameters
+    ----------
+    in_features, num_classes:
+        Input dimensionality and label-space size.
+    hidden:
+        Sizes of the hidden layers.
+    rng:
+        Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        hidden: Sequence[int] = (32,),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers = []
+        previous = in_features
+        for index, width in enumerate(hidden):
+            layers.append(nn.Dense(previous, width, rng=rng, name=f"fc{index}"))
+            layers.append(nn.ReLU())
+            previous = width
+        layers.append(nn.Dense(previous, num_classes, rng=rng, name="head"))
+        super().__init__(*layers)
+        self.in_features = in_features
+        self.num_classes = num_classes

@@ -1,0 +1,71 @@
+"""Scaled-down OmniScaleCNN surrogate for multivariate time series."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+
+
+class OmniScaleCNNSurrogate(nn.Sequential):
+    """Omni-Scale CNN-style classifier for inputs of shape ``(N, C, L)``.
+
+    The defining idea of OmniScaleCNN is a bank of parallel convolutions whose
+    kernel sizes cover all receptive-field scales (the original uses the prime
+    sizes 1, 2, 3, 5, 7, ...) so no kernel-size tuning is needed.  The
+    surrogate keeps that kernel bank at a reduced channel count, restricted to
+    odd sizes so every branch preserves the sequence length.
+
+    Parameters
+    ----------
+    in_channels, num_classes:
+        Input channels and label-space size.
+    kernel_sizes:
+        Kernel sizes of the parallel branches (defaults to the first primes).
+    branch_channels:
+        Channels per branch.
+    rng:
+        Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        kernel_sizes: Sequence[int] = (1, 3, 5, 7),
+        branch_channels: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if not kernel_sizes:
+            raise ValueError("kernel_sizes must not be empty")
+        first_bank = nn.ParallelConcat(
+            *[
+                nn.Conv1d(in_channels, branch_channels, kernel_size=k, rng=rng, name=f"os1.k{k}")
+                for k in kernel_sizes
+            ],
+            axis=1,
+        )
+        mid_channels = branch_channels * len(kernel_sizes)
+        second_bank = nn.ParallelConcat(
+            *[
+                nn.Conv1d(mid_channels, branch_channels, kernel_size=k, rng=rng, name=f"os2.k{k}")
+                for k in kernel_sizes[:2]
+            ],
+            axis=1,
+        )
+        out_channels = branch_channels * 2
+        super().__init__(
+            first_bank,
+            nn.BatchNorm(mid_channels, name="os1.bn"),
+            nn.ReLU(),
+            second_bank,
+            nn.BatchNorm(out_channels, name="os2.bn"),
+            nn.ReLU(),
+            nn.GlobalAvgPool1d(),
+            nn.Dense(out_channels, num_classes, rng=rng, name="head"),
+        )
+        self.in_channels = in_channels
+        self.num_classes = num_classes

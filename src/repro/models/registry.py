@@ -1,0 +1,81 @@
+"""Model registry: build backbones by their paper names."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.models.inception_time import InceptionTimeSurrogate
+from repro.models.mlp import MLPClassifier
+from repro.models.omniscale_cnn import OmniScaleCNNSurrogate
+from repro.models.resnet import ResNetSurrogate
+from repro.models.vgg import VGGSurrogate
+
+ModelFactory = Callable[..., Module]
+
+MODEL_REGISTRY: Dict[str, str] = {
+    "InceptionTime": "time-series",
+    "OmniScaleCNN": "time-series",
+    "ResNet18": "image",
+    "VGG16": "image",
+    "MLP": "flat",
+}
+
+
+def build_model(
+    name: str,
+    input_shape: Tuple[int, ...],
+    num_classes: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Module:
+    """Construct a backbone surrogate by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"InceptionTime"``, ``"OmniScaleCNN"``, ``"ResNet18"``,
+        ``"VGG16"``, ``"MLP"`` (case insensitive).
+    input_shape:
+        Shape of a single example, e.g. ``(C, L)`` for time series or
+        ``(C, H, W)`` for images.
+    num_classes:
+        Label-space size.
+    rng:
+        Random generator for weight initialisation.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    key = None
+    for registered in MODEL_REGISTRY:
+        if registered.lower() == name.lower():
+            key = registered
+            break
+    if key is None:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+
+    if key in ("InceptionTime", "OmniScaleCNN"):
+        if len(input_shape) != 2:
+            raise ValueError(
+                f"{key} expects time-series input shape (C, L), got {input_shape}"
+            )
+        channels = input_shape[0]
+        if key == "InceptionTime":
+            return InceptionTimeSurrogate(channels, num_classes, rng=rng)
+        return OmniScaleCNNSurrogate(channels, num_classes, rng=rng)
+
+    if key in ("ResNet18", "VGG16"):
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"{key} expects image input shape (C, H, W), got {input_shape}"
+            )
+        channels, height, width = input_shape
+        if height != width:
+            raise ValueError(f"{key} surrogate expects square images, got {input_shape}")
+        if key == "ResNet18":
+            return ResNetSurrogate(channels, num_classes, rng=rng)
+        return VGGSurrogate(channels, num_classes, image_size=height, rng=rng)
+
+    if len(input_shape) != 1:
+        raise ValueError(f"MLP expects flat input shape (D,), got {input_shape}")
+    return MLPClassifier(input_shape[0], num_classes, rng=rng)

@@ -1,0 +1,78 @@
+"""Scaled-down ResNet surrogate for small images."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+
+
+def _basic_block(channels: int, rng: np.random.Generator, name: str) -> nn.Module:
+    """A ResNet basic block: two 3x3 convolutions with an identity shortcut."""
+    body = nn.Sequential(
+        nn.Conv2d(channels, channels, kernel_size=3, rng=rng, name=f"{name}.conv1"),
+        nn.BatchNorm(channels, name=f"{name}.bn1"),
+        nn.ReLU(),
+        nn.Conv2d(channels, channels, kernel_size=3, rng=rng, name=f"{name}.conv2"),
+        nn.BatchNorm(channels, name=f"{name}.bn2"),
+    )
+    return nn.Sequential(nn.Residual(body), nn.ReLU())
+
+
+class ResNetSurrogate(nn.Sequential):
+    """ResNet18-style classifier for inputs of shape ``(N, C, H, W)``.
+
+    The surrogate keeps the stem-convolution → residual stages → global
+    average pool → linear head pipeline of ResNet18, at a reduced width and
+    depth so it trains in seconds on the numpy substrate.
+
+    Parameters
+    ----------
+    in_channels, num_classes:
+        Input channels and label-space size.
+    base_channels:
+        Width of the stem; subsequent stages double it.
+    blocks_per_stage:
+        Residual blocks in each of the two stages.
+    rng:
+        Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        base_channels: int = 8,
+        blocks_per_stage: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if blocks_per_stage <= 0:
+            raise ValueError("blocks_per_stage must be positive")
+        layers = [
+            nn.Conv2d(in_channels, base_channels, kernel_size=3, rng=rng, name="stem"),
+            nn.BatchNorm(base_channels, name="stem.bn"),
+            nn.ReLU(),
+        ]
+        for block_index in range(blocks_per_stage):
+            layers.append(_basic_block(base_channels, rng, f"stage1.block{block_index}"))
+        layers.append(nn.MaxPool2d(2))
+        stage2_channels = base_channels * 2
+        layers.append(
+            nn.Conv2d(base_channels, stage2_channels, kernel_size=3, rng=rng, name="stage2.proj")
+        )
+        layers.append(nn.BatchNorm(stage2_channels, name="stage2.bn"))
+        layers.append(nn.ReLU())
+        for block_index in range(blocks_per_stage):
+            layers.append(_basic_block(stage2_channels, rng, f"stage2.block{block_index}"))
+        layers.extend(
+            [
+                nn.GlobalAvgPool2d(),
+                nn.Dense(stage2_channels, num_classes, rng=rng, name="head"),
+            ]
+        )
+        super().__init__(*layers)
+        self.in_channels = in_channels
+        self.num_classes = num_classes

@@ -1,0 +1,64 @@
+"""Scaled-down VGG surrogate for small images."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+
+
+class VGGSurrogate(nn.Sequential):
+    """VGG16-style classifier for inputs of shape ``(N, C, H, W)``.
+
+    Keeps VGG's defining structure — stacked 3x3 convolutions with max-pooling
+    between stages followed by fully connected layers — at a reduced width and
+    depth.
+
+    Parameters
+    ----------
+    in_channels, num_classes:
+        Input channels and label-space size.
+    image_size:
+        Spatial size of the (square) input images; needed to size the first
+        fully connected layer.
+    base_channels:
+        Width of the first convolutional stage.
+    rng:
+        Random generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        image_size: int = 16,
+        base_channels: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if image_size < 4:
+            raise ValueError("image_size must be at least 4")
+        stage2_channels = base_channels * 2
+        reduced = image_size // 4
+        if reduced < 1:
+            raise ValueError("image_size too small for two pooling stages")
+        super().__init__(
+            nn.Conv2d(in_channels, base_channels, kernel_size=3, rng=rng, name="block1.conv1"),
+            nn.ReLU(),
+            nn.Conv2d(base_channels, base_channels, kernel_size=3, rng=rng, name="block1.conv2"),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(base_channels, stage2_channels, kernel_size=3, rng=rng, name="block2.conv1"),
+            nn.ReLU(),
+            nn.Conv2d(stage2_channels, stage2_channels, kernel_size=3, rng=rng, name="block2.conv2"),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Dense(stage2_channels * reduced * reduced, 32, rng=rng, name="fc1"),
+            nn.ReLU(),
+            nn.Dense(32, num_classes, rng=rng, name="head"),
+        )
+        self.in_channels = in_channels
+        self.num_classes = num_classes

@@ -1,0 +1,191 @@
+"""Stateless numerical helpers shared across layers, losses and algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels ``(N,)`` to a one-hot matrix ``(N, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose arg-max prediction matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] == 0:
+        return 0.0
+    predictions = np.argmax(logits, axis=1)
+    return float(np.mean(predictions == labels))
+
+
+def im2col_1d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
+    """Extract sliding windows for a 1-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, L)``.
+    kernel_size, stride, padding:
+        Convolution geometry.
+
+    Returns
+    -------
+    numpy.ndarray
+        Patches of shape ``(N, L_out, C * kernel_size)``.
+    """
+    n, c, length = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
+    padded_len = length + 2 * padding
+    out_len = (padded_len - kernel_size) // stride + 1
+    if out_len <= 0:
+        raise ValueError(
+            f"convolution output length is non-positive: input length {length}, "
+            f"kernel {kernel_size}, stride {stride}, padding {padding}"
+        )
+    # Gather indices once; advanced indexing produces the patch tensor directly.
+    starts = np.arange(out_len) * stride
+    idx = starts[:, None] + np.arange(kernel_size)[None, :]
+    patches = x[:, :, idx]                       # (N, C, L_out, K)
+    patches = patches.transpose(0, 2, 1, 3)      # (N, L_out, C, K)
+    return patches.reshape(n, out_len, c * kernel_size)
+
+
+def col2im_1d(
+    cols: np.ndarray,
+    input_shape: tuple,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter patch gradients back to the 1-D input layout.
+
+    Inverse of :func:`im2col_1d` in the sense of gradient accumulation:
+    overlapping windows sum their contributions.
+    """
+    n, c, length = input_shape
+    padded_len = length + 2 * padding
+    out_len = (padded_len - kernel_size) // stride + 1
+    grad_padded = np.zeros((n, c, padded_len), dtype=np.float64)
+    cols = cols.reshape(n, out_len, c, kernel_size).transpose(0, 2, 1, 3)  # (N, C, L_out, K)
+    starts = np.arange(out_len) * stride
+    idx = starts[:, None] + np.arange(kernel_size)[None, :]               # (L_out, K)
+    np.add.at(grad_padded, (slice(None), slice(None), idx), cols)
+    if padding > 0:
+        return grad_padded[:, :, padding:-padding]
+    return grad_padded
+
+
+def im2col_2d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
+    """Extract sliding windows for a 2-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Patches of shape ``(N, H_out * W_out, C * kernel_size * kernel_size)``.
+    """
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ph, pw = h + 2 * padding, w + 2 * padding
+    out_h = (ph - kernel_size) // stride + 1
+    out_w = (pw - kernel_size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output is non-positive: input {h}x{w}, kernel "
+            f"{kernel_size}, stride {stride}, padding {padding}"
+        )
+    row_starts = np.arange(out_h) * stride
+    col_starts = np.arange(out_w) * stride
+    row_idx = row_starts[:, None] + np.arange(kernel_size)[None, :]   # (H_out, K)
+    col_idx = col_starts[:, None] + np.arange(kernel_size)[None, :]   # (W_out, K)
+    # (N, C, H_out, K, W_out, K)
+    patches = x[:, :, row_idx[:, :, None, None], col_idx[None, None, :, :]]
+    patches = patches.transpose(0, 2, 4, 1, 3, 5)  # (N, H_out, W_out, C, K, K)
+    return patches.reshape(n, out_h * out_w, c * kernel_size * kernel_size)
+
+
+def col2im_2d(
+    cols: np.ndarray,
+    input_shape: tuple,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter patch gradients back to the 2-D input layout (sums overlaps)."""
+    n, c, h, w = input_shape
+    ph, pw = h + 2 * padding, w + 2 * padding
+    out_h = (ph - kernel_size) // stride + 1
+    out_w = (pw - kernel_size) // stride + 1
+    grad_padded = np.zeros((n, c, ph, pw), dtype=np.float64)
+    cols = cols.reshape(n, out_h, out_w, c, kernel_size, kernel_size)
+    cols = cols.transpose(0, 3, 1, 4, 2, 5)  # (N, C, H_out, K, W_out, K)
+    row_starts = np.arange(out_h) * stride
+    col_starts = np.arange(out_w) * stride
+    row_idx = row_starts[:, None] + np.arange(kernel_size)[None, :]
+    col_idx = col_starts[:, None] + np.arange(kernel_size)[None, :]
+    np.add.at(
+        grad_padded,
+        (
+            slice(None),
+            slice(None),
+            row_idx[:, :, None, None],
+            col_idx[None, None, :, :],
+        ),
+        cols,
+    )
+    if padding > 0:
+        return grad_padded[:, :, padding:-padding, padding:-padding]
+    return grad_padded
+
+
+def clip_gradients(gradients: list, max_norm: float) -> float:
+    """Scale a list of gradient arrays in place to a maximum global norm.
+
+    Returns the global norm before clipping, which callers can log.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = float(np.sqrt(sum(float(np.sum(g ** 2)) for g in gradients)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for grad in gradients:
+            grad *= scale
+    return total

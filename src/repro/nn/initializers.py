@@ -1,0 +1,46 @@
+"""Weight initialisation schemes for the numpy substrate.
+
+All initialisers accept an explicit :class:`numpy.random.Generator` so that
+experiments are reproducible end to end (the paper reports averages over five
+seeds; the benchmark harness controls seeds the same way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU networks.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the weight tensor to create.
+    fan_in:
+        Number of input units feeding each output unit.
+    rng:
+        Random generator used to draw the weights.
+    """
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation, suited to tanh/sigmoid layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (used for biases and BatchNorm shifts)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-one initialisation (used for BatchNorm scales)."""
+    return np.ones(shape, dtype=np.float64)

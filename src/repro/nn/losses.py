@@ -1,0 +1,95 @@
+"""Loss functions for classifier training and bit-flip regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Loss:
+    """Base class: ``forward`` returns a scalar, ``backward`` the logits gradient."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` expects raw logits of shape ``(N, K)`` and labels of shape
+    ``(N,)``.  Optional per-example weights support the asymmetric update rule
+    used by the ER-ACE baseline.
+    """
+
+    def __init__(self):
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+
+    def forward(
+        self,
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        sample_weights: np.ndarray | None = None,
+    ) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if predictions.ndim != 2:
+            raise ValueError(f"expected logits of shape (N, K), got {predictions.shape}")
+        if targets.shape[0] != predictions.shape[0]:
+            raise ValueError("number of labels does not match number of logit rows")
+        log_probs = F.log_softmax(predictions, axis=1)
+        picked = log_probs[np.arange(targets.shape[0]), targets]
+        if sample_weights is not None:
+            sample_weights = np.asarray(sample_weights, dtype=np.float64)
+            if sample_weights.shape != targets.shape:
+                raise ValueError("sample_weights must have one entry per example")
+            loss = -float(np.sum(picked * sample_weights) / max(np.sum(sample_weights), 1e-12))
+        else:
+            loss = -float(np.mean(picked))
+        self._probs = np.exp(log_probs)
+        self._targets = targets
+        self._weights = sample_weights
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward on CrossEntropyLoss")
+        n, k = self._probs.shape
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        if self._weights is not None:
+            total = max(float(np.sum(self._weights)), 1e-12)
+            grad *= (self._weights / total)[:, None]
+        else:
+            grad /= n
+        return grad
+
+
+class MSELoss(Loss):
+    """Mean squared error, used to train the bit-flipping regressor."""
+
+    def __init__(self):
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"predictions shape {predictions.shape} does not match targets {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward on MSELoss")
+        return 2.0 * self._diff / self._diff.size

@@ -1,0 +1,109 @@
+"""Gradient-based optimisers for full-precision training and QAT calibration."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base optimiser: tracks parameters and applies an update rule in ``step``."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every tracked parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    The paper trains and calibrates with SGD (learning rate 0.01); the
+    benchmark harness mirrors that default.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser, used for the bit-flipping network regression."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta coefficients must lie in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad ** 2
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,67 @@
+"""Trainable parameters for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient.
+
+    Parameters
+    ----------
+    data:
+        Initial value of the parameter.  Copied and stored as ``float64``
+        to keep gradient computations numerically stable on CPU.
+    name:
+        Optional human-readable name, used by quantization and the
+        bit-flipping network to identify parameters across snapshots.
+    requires_grad:
+        When ``False`` the optimiser skips this parameter.  Quantized
+        deployments freeze parameters this way.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True):
+        self.data = np.asarray(data, dtype=np.float64).copy()
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Total number of scalar values in the parameter."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad = np.zeros_like(self.data)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` to the accumulated gradient.
+
+        Raises
+        ------
+        ValueError
+            If ``grad`` does not have the same shape as the parameter.
+        """
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"shape {self.data.shape} for parameter '{self.name}'"
+            )
+        self.grad = self.grad + grad
+
+    def copy(self) -> "Parameter":
+        """Return a deep copy of this parameter (data and gradient)."""
+        clone = Parameter(self.data.copy(), name=self.name, requires_grad=self.requires_grad)
+        clone.grad = self.grad.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

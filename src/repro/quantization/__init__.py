@@ -1,0 +1,32 @@
+"""Uniform quantization substrate.
+
+The paper quantizes full-precision classifier parameters to low bit-widths
+(2, 4, 8 bits) and calibrates the quantized models.  This package provides:
+
+``UniformQuantizer``
+    Symmetric or asymmetric uniform quantization of a tensor to integer codes
+    plus a scale / zero-point (Figure 2 of the paper).
+``QuantizationConfig``
+    Bit-width and scheme settings shared across a deployment.
+``QuantizedModel``
+    A wrapper around a full-precision model that stores per-parameter integer
+    codes, materialises the dequantized weights for inference, and exposes the
+    integer codes for bit-flip updates.
+``calibrate_with_backprop``
+    Quantization-aware calibration using the straight-through estimator, the
+    paper's server-side (one-time) calibration path.
+"""
+
+from repro.quantization.quantizer import QuantizationConfig, UniformQuantizer, QuantizedTensor
+from repro.quantization.qmodel import QuantizedModel, quantize_model
+from repro.quantization.calibration import calibrate_with_backprop, CalibrationResult
+
+__all__ = [
+    "QuantizationConfig",
+    "UniformQuantizer",
+    "QuantizedTensor",
+    "QuantizedModel",
+    "quantize_model",
+    "calibrate_with_backprop",
+    "CalibrationResult",
+]

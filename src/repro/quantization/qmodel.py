@@ -1,0 +1,191 @@
+"""Quantized model wrapper: integer codes, latent weights, and flip updates."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.training import evaluate as _evaluate
+from repro.nn.training import predict_labels, predict_proba
+from repro.quantization.quantizer import (
+    QuantizationConfig,
+    QuantizedTensor,
+    UniformQuantizer,
+)
+
+
+class QuantizedModel:
+    """A classifier whose parameters are stored as low-bit integer codes.
+
+    The wrapper keeps three synchronised views of the parameters:
+
+    * ``latent`` — full-precision master weights.  Only used during server-side
+      QAT calibration (where the straight-through estimator updates them); on
+      the edge they are conceptually unavailable.
+    * ``qtensors`` — per-parameter integer codes plus scales (the deployed
+      representation).
+    * the wrapped ``model`` — receives the *dequantized* values before every
+      forward pass so that inference uses exactly the quantized weights.
+
+    Edge-side continual calibration only touches ``qtensors`` through
+    :meth:`apply_flips`, mirroring the paper's constraint that full-precision
+    values and back-propagation are unavailable after deployment.
+    """
+
+    def __init__(self, model: Module, config: QuantizationConfig):
+        self.model = model
+        self.config = config
+        self._quantizer = UniformQuantizer(config)
+        self.latent: Dict[str, np.ndarray] = {
+            name: param.data.copy() for name, param in model.named_parameters()
+        }
+        self.qtensors: Dict[str, QuantizedTensor] = {}
+        self.refresh_codes()
+        self.sync()
+
+    # -- representation management ----------------------------------------
+    def refresh_codes(self) -> None:
+        """Re-quantize the latent weights into integer codes."""
+        self.qtensors = {
+            name: self._quantizer.quantize(values, name=name)
+            for name, values in self.latent.items()
+        }
+
+    def sync(self) -> None:
+        """Write the dequantized weights into the wrapped model's parameters."""
+        dequantized = {name: qt.dequantize() for name, qt in self.qtensors.items()}
+        self.model.load_state_dict(dequantized)
+
+    def snapshot_codes(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter's integer codes (for diffing)."""
+        return {name: qt.codes.copy() for name, qt in self.qtensors.items()}
+
+    def restore_codes(self, snapshot: Dict[str, np.ndarray]) -> None:
+        """Restore integer codes from a :meth:`snapshot_codes` snapshot.
+
+        Used by the edge calibrator to roll back a calibration iteration that
+        degraded accuracy on the labelled calibration pool.
+        """
+        unknown = set(snapshot) - set(self.qtensors)
+        if unknown:
+            raise KeyError(f"unknown parameters in snapshot: {sorted(unknown)}")
+        for name, codes in snapshot.items():
+            qt = self.qtensors[name]
+            codes = np.asarray(codes, dtype=np.int64)
+            if codes.shape != qt.codes.shape:
+                raise ValueError(
+                    f"snapshot shape {codes.shape} does not match codes shape "
+                    f"{qt.codes.shape} for parameter {name!r}"
+                )
+            qt.codes = codes.copy()
+        self.latent = {name: qt.dequantize() for name, qt in self.qtensors.items()}
+        self.sync()
+
+    def apply_flips(self, flips: Dict[str, np.ndarray]) -> None:
+        """Apply per-parameter flips in ``{-1, 0, +1}`` to the integer codes.
+
+        Unknown parameter names are rejected; parameters without an entry are
+        left untouched.  After the update the latent view and the wrapped
+        model are re-synchronised so subsequent inference uses the new codes.
+        """
+        unknown = set(flips) - set(self.qtensors)
+        if unknown:
+            raise KeyError(f"unknown parameters in flips: {sorted(unknown)}")
+        for name, flip in flips.items():
+            self.qtensors[name].apply_flips(flip)
+        self.latent = {name: qt.dequantize() for name, qt in self.qtensors.items()}
+        self.sync()
+
+    def update_latent(self, updates: Dict[str, np.ndarray]) -> None:
+        """Subtract ``updates`` from the latent weights (QAT / STE step) and requantize."""
+        for name, delta in updates.items():
+            if name not in self.latent:
+                raise KeyError(f"unknown parameter {name!r}")
+            self.latent[name] = self.latent[name] - delta
+        self.refresh_codes()
+        self.sync()
+
+    # -- inference ----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass with dequantized weights."""
+        self.sync()
+        return self.model.forward(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Arg-max class predictions."""
+        self.sync()
+        return predict_labels(self.model, x)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        self.sync()
+        return predict_proba(self.model, x)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of the quantized model on ``(x, y)``."""
+        self.sync()
+        return _evaluate(self.model, x, y)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """Bit-width of the deployment."""
+        return self.config.bits
+
+    def num_parameters(self) -> int:
+        """Total number of quantized scalar parameters."""
+        return sum(qt.num_parameters for qt in self.qtensors.values())
+
+    def memory_bits(self) -> int:
+        """Total storage of the integer codes in bits."""
+        return sum(qt.memory_bits() for qt in self.qtensors.values())
+
+    def quantization_error(self) -> float:
+        """Mean absolute difference between latent and dequantized weights."""
+        errors = [
+            np.abs(self.latent[name] - qt.dequantize()).mean()
+            for name, qt in self.qtensors.items()
+            if qt.num_parameters
+        ]
+        return float(np.mean(errors)) if errors else 0.0
+
+    def clone(self) -> "QuantizedModel":
+        """Deep copy sharing nothing with the original (used per-stream in Fig. 7)."""
+        import copy
+
+        clone = QuantizedModel.__new__(QuantizedModel)
+        clone.model = copy.deepcopy(self.model)
+        clone.config = self.config
+        clone._quantizer = UniformQuantizer(self.config)
+        clone.latent = {name: values.copy() for name, values in self.latent.items()}
+        clone.qtensors = {name: qt.copy() for name, qt in self.qtensors.items()}
+        clone.sync()
+        return clone
+
+
+def quantize_model(model: Module, bits: int, symmetric: bool = True) -> QuantizedModel:
+    """Convenience constructor: quantize ``model`` at ``bits`` bits."""
+    return QuantizedModel(model, QuantizationConfig(bits=bits, symmetric=symmetric))
+
+
+@contextmanager
+def temporarily_quantized(model: Module, bits: int, symmetric: bool = True) -> Iterator[Module]:
+    """Temporarily replace a model's weights with their fake-quantized values.
+
+    Algorithm 1 of the paper quantizes the full-precision model *online* at
+    every training epoch to measure quantization misses, then continues
+    full-precision training.  This context manager implements that proxy step:
+    inside the ``with`` block the model behaves like the quantized model; on
+    exit the original full-precision weights are restored.
+    """
+    quantizer = UniformQuantizer(QuantizationConfig(bits=bits, symmetric=symmetric))
+    saved = model.state_dict()
+    try:
+        fake = {name: quantizer.fake_quantize(values) for name, values in saved.items()}
+        model.load_state_dict(fake)
+        yield model
+    finally:
+        model.load_state_dict(saved)

@@ -1,0 +1,183 @@
+"""Uniform quantization of tensors to low-bit integer codes.
+
+The paper (Section 2.2, Figure 2) uses uniform quantization: a full-precision
+value is mapped to the nearest of ``2^b`` evenly spaced levels, represented by
+an integer code.  This module implements symmetric (zero-point-free) and
+asymmetric (min/max) variants, both per tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Configuration shared by every quantized tensor in a deployment.
+
+    Attributes
+    ----------
+    bits:
+        Bit-width of the integer codes (the paper evaluates 2, 4 and 8).
+    symmetric:
+        Symmetric quantization centres the range on zero and needs no
+        zero-point; asymmetric uses the observed min/max.
+    per_channel:
+        Reserved for future use; the reproduction quantizes per tensor, which
+        matches the paper's description of uniform parameter quantization.
+    """
+
+    bits: int = 8
+    symmetric: bool = True
+    per_channel: bool = False
+
+    def __post_init__(self):
+        if not 2 <= self.bits <= 32:
+            raise ValueError(f"bits must lie in [2, 32], got {self.bits}")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable integer codes."""
+        return 2 ** self.bits
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable integer code."""
+        if self.symmetric:
+            return -(2 ** (self.bits - 1)) + 1
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable integer code."""
+        if self.symmetric:
+            return 2 ** (self.bits - 1) - 1
+        return 2 ** self.bits - 1
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer codes plus the affine mapping back to real values.
+
+    ``dequantize`` reconstructs ``scale * (codes - zero_point)``; ``codes`` are
+    stored as ``int64`` to avoid overflow during bit-flip updates, and are
+    always clipped to the configured ``[qmin, qmax]`` range.
+    """
+
+    codes: np.ndarray
+    scale: float
+    zero_point: int
+    config: QuantizationConfig
+    name: str = ""
+
+    def dequantize(self) -> np.ndarray:
+        """Map the integer codes back to real values."""
+        return self.scale * (self.codes.astype(np.float64) - self.zero_point)
+
+    def apply_flips(self, flips: np.ndarray) -> None:
+        """Add integer ``flips`` (values in ``{-1, 0, +1}``) to the codes in place.
+
+        The result is clipped to the representable range; this is the update
+        primitive the bit-flipping network uses (Algorithm 3, line 8).
+        """
+        flips = np.asarray(flips)
+        if flips.shape != self.codes.shape:
+            raise ValueError(
+                f"flip shape {flips.shape} does not match code shape {self.codes.shape}"
+            )
+        if flips.size and np.max(np.abs(flips)) > 1:
+            raise ValueError("flips must only contain values in {-1, 0, +1}")
+        self.codes = np.clip(
+            self.codes + flips.astype(np.int64), self.config.qmin, self.config.qmax
+        )
+
+    def copy(self) -> "QuantizedTensor":
+        """Return an independent copy of this quantized tensor."""
+        return QuantizedTensor(
+            codes=self.codes.copy(),
+            scale=self.scale,
+            zero_point=self.zero_point,
+            config=self.config,
+            name=self.name,
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of scalar codes stored."""
+        return int(self.codes.size)
+
+    def memory_bits(self) -> int:
+        """Storage cost of the codes at the configured bit-width (excludes scale)."""
+        return self.num_parameters * self.config.bits
+
+
+class UniformQuantizer:
+    """Quantize/dequantize tensors uniformly at a fixed bit-width."""
+
+    def __init__(self, config: QuantizationConfig):
+        self.config = config
+
+    def quantize(self, values: np.ndarray, name: str = "") -> QuantizedTensor:
+        """Quantize ``values`` to integer codes.
+
+        The scale is chosen from the observed range of ``values``; an all-zero
+        (or constant-zero-range) tensor quantizes to all-zero codes with a unit
+        scale so that dequantization is still well defined.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        cfg = self.config
+        if cfg.symmetric:
+            max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+            if max_abs == 0.0:
+                scale = 1.0
+            else:
+                scale = max_abs / cfg.qmax
+            zero_point = 0
+        else:
+            vmin = float(values.min()) if values.size else 0.0
+            vmax = float(values.max()) if values.size else 0.0
+            if vmax == vmin:
+                scale = 1.0
+                zero_point = 0
+            else:
+                scale = (vmax - vmin) / (cfg.qmax - cfg.qmin)
+                zero_point = int(round(cfg.qmin - vmin / scale))
+        codes = np.clip(np.round(values / scale) + zero_point, cfg.qmin, cfg.qmax)
+        return QuantizedTensor(
+            codes=codes.astype(np.int64),
+            scale=scale,
+            zero_point=zero_point,
+            config=cfg,
+            name=name,
+        )
+
+    def fake_quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize then immediately dequantize (simulated quantization).
+
+        This is the operation inserted during quantization-aware calibration:
+        the forward pass sees quantized weights while gradients flow through
+        unchanged (straight-through estimator).
+        """
+        return self.quantize(values).dequantize()
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """Mean absolute error introduced by quantizing ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return 0.0
+        return float(np.mean(np.abs(values - self.fake_quantize(values))))
+
+
+def quantize_state(
+    state: dict, config: QuantizationConfig
+) -> List[QuantizedTensor]:
+    """Quantize every array in a ``state_dict``-style mapping.
+
+    Returns one :class:`QuantizedTensor` per entry, preserving names so the
+    result can be re-associated with model parameters.
+    """
+    quantizer = UniformQuantizer(config)
+    return [quantizer.quantize(array, name=name) for name, array in state.items()]

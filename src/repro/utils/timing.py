@@ -1,0 +1,30 @@
+"""Wall-clock timing helper used by the running-time experiments (Table 9)."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     sum(range(1000))
+    499500
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start

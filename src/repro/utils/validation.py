@@ -1,0 +1,35 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, otherwise raise ``ValueError``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def ensure_fraction(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the open interval (0, 1]."""
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must lie in (0, 1], got {value}")
+    return value
+
+
+def ensure_probability_vector(values: np.ndarray, name: str) -> np.ndarray:
+    """Validate and renormalise a non-negative vector into a probability vector."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {values.shape}")
+    if np.any(values < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = values.sum()
+    if total <= 0:
+        raise ValueError(f"{name} must have a positive sum")
+    return values / total

@@ -1,0 +1,74 @@
+"""Tests for the replay buffer used by the continual-learning baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ReplayBuffer
+
+
+class TestReplayBuffer:
+    def test_capacity_enforced(self, rng):
+        buffer = ReplayBuffer(capacity=5, rng=rng)
+        buffer.add_batch(rng.normal(size=(20, 3)), rng.integers(0, 2, 20))
+        assert len(buffer) == 5
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+    def test_sample_shapes(self, rng):
+        buffer = ReplayBuffer(capacity=10, rng=rng)
+        buffer.add_batch(rng.normal(size=(8, 3)), rng.integers(0, 4, 8))
+        features, labels, logits = buffer.sample(6)
+        assert features.shape == (6, 3)
+        assert labels.shape == (6,)
+        assert logits is None
+
+    def test_sample_from_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=3, rng=rng).sample(1)
+
+    def test_logits_round_trip(self, rng):
+        buffer = ReplayBuffer(capacity=4, rng=rng)
+        logits = rng.normal(size=(4, 5))
+        buffer.add_batch(rng.normal(size=(4, 3)), rng.integers(0, 5, 4), logits)
+        _, _, sampled_logits = buffer.sample(3)
+        assert sampled_logits is not None
+        assert sampled_logits.shape == (3, 5)
+
+    def test_as_dataset(self, rng):
+        buffer = ReplayBuffer(capacity=4, rng=rng)
+        buffer.add_batch(rng.normal(size=(4, 3)), rng.integers(0, 2, 4))
+        ds = buffer.as_dataset(num_classes=2)
+        assert len(ds) == 4
+
+    def test_reservoir_keeps_old_examples_with_nonzero_probability(self, rng):
+        """After many insertions, early examples should still appear sometimes."""
+        hits = 0
+        for seed in range(30):
+            buffer = ReplayBuffer(capacity=10, rng=np.random.default_rng(seed))
+            early = np.full((10, 1), -123.0)
+            buffer.add_batch(early, np.zeros(10, dtype=int))
+            buffer.add_batch(np.random.default_rng(seed).normal(size=(90, 1)), np.ones(90, dtype=int))
+            stored = np.stack(buffer._features)
+            if np.any(stored == -123.0):
+                hits += 1
+        assert hits > 5
+
+    def test_memory_bytes_grows_with_content(self, rng):
+        buffer = ReplayBuffer(capacity=10, rng=rng)
+        assert buffer.memory_bytes() == 0
+        buffer.add_batch(rng.normal(size=(4, 3)), rng.integers(0, 2, 4))
+        assert buffer.memory_bytes() > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(capacity=st.integers(1, 20), total=st.integers(1, 60))
+    def test_property_never_exceeds_capacity(self, capacity, total):
+        rng = np.random.default_rng(0)
+        buffer = ReplayBuffer(capacity=capacity, rng=rng)
+        buffer.add_batch(rng.normal(size=(total, 2)), rng.integers(0, 3, total))
+        assert len(buffer) == min(capacity, total)

@@ -1,0 +1,28 @@
+"""Shared pytest fixtures for the QCore reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_classification_data(rng: np.random.Generator):
+    """A tiny, linearly separable 3-class problem used for smoke training tests."""
+    num_per_class = 30
+    centers = np.array([[2.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.0, 0.0, 2.0]])
+    features = []
+    labels = []
+    for class_index, center in enumerate(centers):
+        features.append(center + 0.3 * rng.normal(size=(num_per_class, 3)))
+        labels.append(np.full(num_per_class, class_index))
+    x = np.concatenate(features, axis=0)
+    y = np.concatenate(labels, axis=0)
+    order = rng.permutation(x.shape[0])
+    return x[order], y[order]

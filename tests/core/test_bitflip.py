@@ -1,0 +1,188 @@
+"""Tests for the bit-flipping network (Algorithms 2 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    BitFlipCalibrator,
+    BitFlipNetwork,
+    BitFlipTrainer,
+    extract_parameter_features,
+)
+from repro.core.bitflip import NUM_FEATURES
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.models import InceptionTimeSurrogate
+from repro.nn.training import train_classifier
+from repro.quantization import quantize_model
+
+TINY_TS = SyntheticTimeSeriesConfig(
+    num_classes=4, num_domains=2, channels=3, length=20,
+    train_per_class=15, val_per_class=2, test_per_class=4,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A trained full-precision model plus its training data (module scoped)."""
+    rng = np.random.default_rng(0)
+    data = make_dsa_surrogate(seed=0, config=TINY_TS)
+    train = data["Subj. 1"].train
+    target = data["Subj. 2"]
+    model = InceptionTimeSurrogate(3, TINY_TS.num_classes, branch_channels=4, depth=1, rng=rng)
+    train_classifier(
+        model, nn.SGD(model.parameters(), lr=0.05, momentum=0.9),
+        train.features, train.labels, epochs=12, batch_size=16, rng=rng,
+    )
+    return model, train, target
+
+
+class TestFeatureExtraction:
+    def test_features_cover_all_weighted_parameters(self, trained_setup, rng):
+        model, train, _ = trained_setup
+        qmodel = quantize_model(model, bits=4)
+        features = extract_parameter_features(qmodel, train.features[:8])
+        assert features  # non-empty
+        for name, feats in features.items():
+            assert feats.shape == (qmodel.qtensors[name].codes.size, NUM_FEATURES)
+            assert np.all(np.isfinite(feats))
+
+    def test_features_change_with_input_distribution(self, trained_setup):
+        model, train, target = trained_setup
+        qmodel = quantize_model(model, bits=4)
+        f_source = extract_parameter_features(qmodel, train.features[:8])
+        f_target = extract_parameter_features(qmodel, target.train.features[:8])
+        diffs = [
+            np.abs(f_source[name] - f_target[name]).mean()
+            for name in f_source
+            if f_source[name].size
+        ]
+        assert max(diffs) > 0.0
+
+
+class TestBitFlipNetwork:
+    def test_forward_shape_and_flip_range(self, rng):
+        network = BitFlipNetwork(rng=rng)
+        feats = rng.normal(size=(17, NUM_FEATURES))
+        logits = network.forward(feats)
+        assert logits.shape == (17, 3)
+        flips = network.predict_flips(feats)
+        assert set(np.unique(flips)).issubset({-1, 0, 1})
+
+    def test_rejects_wrong_feature_width(self, rng):
+        network = BitFlipNetwork(rng=rng)
+        with pytest.raises(ValueError):
+            network.forward(rng.normal(size=(5, NUM_FEATURES + 1)))
+
+    def test_confidence_threshold_suppresses_flips(self, rng):
+        network = BitFlipNetwork(rng=rng)
+        feats = rng.normal(size=(50, NUM_FEATURES))
+        flips_all = network.predict_flips(feats, confidence_threshold=0.0)
+        flips_strict = network.predict_flips(feats, confidence_threshold=0.99)
+        assert np.sum(flips_strict != 0) <= np.sum(flips_all != 0)
+
+    def test_quantize_in_place(self, rng):
+        network = BitFlipNetwork(rng=rng)
+        before = network.state_dict()
+        network.quantize_(4)
+        after = network.state_dict()
+        assert network.quantized_bits == 4
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_network_is_small(self, rng):
+        """The BF network must stay tiny (it rides along to the edge device)."""
+        network = BitFlipNetwork(rng=rng)
+        assert network.num_parameters() < 500
+
+    def test_learns_a_simple_flip_rule(self, rng):
+        """The BF architecture can represent a sign-based flip rule."""
+        network = BitFlipNetwork(rng=rng)
+        n = 600
+        feats = rng.normal(size=(n, NUM_FEATURES))
+        targets = np.zeros(n, dtype=np.int64)
+        targets[feats[:, 2] > 0.5] = 2   # large positive delta-a -> +1 flip
+        targets[feats[:, 2] < -0.5] = 0  # large negative delta-a -> -1 flip
+        targets[(feats[:, 2] >= -0.5) & (feats[:, 2] <= 0.5)] = 1
+        optimizer = nn.Adam(network.parameters(), lr=0.02)
+        loss_fn = nn.CrossEntropyLoss()
+        for _ in range(60):
+            optimizer.zero_grad()
+            logits = network.forward(feats)
+            loss_fn.forward(logits, targets)
+            network.backward(loss_fn.backward())
+            optimizer.step()
+        accuracy = np.mean(np.argmax(network.forward(feats), axis=1) == targets)
+        assert accuracy > 0.8
+
+
+class TestBitFlipTrainer:
+    def test_training_produces_quantized_network(self, trained_setup, rng):
+        model, train, _ = trained_setup
+        import copy
+
+        qmodel = quantize_model(copy.deepcopy(model), bits=4)
+        trainer = BitFlipTrainer(bits=4, bf_epochs=10, rng=rng)
+        calibration_subset = train.subset(np.arange(0, len(train), 3))
+        result = trainer.train(qmodel, calibration_subset, calibration_epochs=6, batch_size=16)
+        assert result.network.quantized_bits == 4
+        assert result.samples_collected > 0
+        assert result.calibration.epochs == 6
+        # The calibration run should not destroy the model.
+        assert qmodel.evaluate(train.features, train.labels) > 1.0 / TINY_TS.num_classes
+
+    def test_class_counts_only_contain_valid_flips(self, trained_setup, rng):
+        model, train, _ = trained_setup
+        import copy
+
+        qmodel = quantize_model(copy.deepcopy(model), bits=2)
+        trainer = BitFlipTrainer(bits=2, bf_epochs=5, rng=rng)
+        result = trainer.train(qmodel, train.subset(np.arange(20)), calibration_epochs=4)
+        assert set(result.class_counts).issubset({-1, 0, 1})
+
+
+class TestBitFlipCalibrator:
+    def test_calibration_applies_flips_and_runs_callbacks(self, trained_setup, rng):
+        model, train, target = trained_setup
+        import copy
+
+        qmodel = quantize_model(copy.deepcopy(model), bits=4)
+        trainer = BitFlipTrainer(bits=4, bf_epochs=10, rng=rng)
+        bf = trainer.train(qmodel, train.subset(np.arange(30)), calibration_epochs=6).network
+        calibrator = BitFlipCalibrator(bf, epochs=2, confidence_threshold=0.5)
+        calls = []
+        stats = calibrator.calibrate(
+            qmodel, target.train.subset(np.arange(20)),
+            epoch_callback=lambda epoch, qm: calls.append(epoch),
+        )
+        assert stats.epochs == 2
+        assert len(stats.flips_per_epoch) == 2
+        assert calls == [0, 1]
+
+    def test_calibration_does_not_collapse_accuracy(self, trained_setup, rng):
+        model, train, target = trained_setup
+        import copy
+
+        qmodel = quantize_model(copy.deepcopy(model), bits=8)
+        trainer = BitFlipTrainer(bits=8, bf_epochs=10, rng=rng)
+        bf = trainer.train(qmodel, train.subset(np.arange(30)), calibration_epochs=6).network
+        before = qmodel.evaluate(target.test.features, target.test.labels)
+        calibrator = BitFlipCalibrator(bf, epochs=3, confidence_threshold=0.6)
+        calibrator.calibrate(qmodel, target.train)
+        after = qmodel.evaluate(target.test.features, target.test.labels)
+        # Single-unit code flips with a confidence gate must not destroy the model.
+        assert after >= before - 0.25
+
+    def test_rejects_empty_data(self, trained_setup, rng):
+        model, train, _ = trained_setup
+        qmodel = quantize_model(model, bits=4)
+        calibrator = BitFlipCalibrator(BitFlipNetwork(rng=rng), epochs=1)
+        with pytest.raises(ValueError):
+            calibrator.calibrate(qmodel, train.subset([]))
+
+    def test_invalid_settings_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BitFlipCalibrator(BitFlipNetwork(rng=rng), epochs=0)
+        with pytest.raises(ValueError):
+            BitFlipCalibrator(BitFlipNetwork(rng=rng), epochs=1, confidence_threshold=1.5)

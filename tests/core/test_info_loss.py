@@ -1,0 +1,59 @@
+"""Tests reproducing the information-loss analysis (Eqs. 3–9, Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MissDistribution, distribution_cost, information_loss, rounding_loss_bound
+from repro.core.info_loss import information_loss_table, subset_cost, verify_bound
+
+#: The worked example of Table 2: |D| = 20, λ = 0.2, K = 5.
+TABLE2 = MissDistribution(counts={1: 2, 2: 3, 3: 9, 4: 4, 5: 2}, total=20)
+
+
+class TestTable2Example:
+    def test_full_set_cost_is_3_05(self):
+        assert distribution_cost(TABLE2) == pytest.approx(3.05)
+
+    def test_subset_cost_is_3(self):
+        assert subset_cost(TABLE2, 0.2) == pytest.approx(3.0)
+
+    def test_information_loss_is_0_05(self):
+        assert information_loss(TABLE2, 0.2) == pytest.approx(0.05)
+
+    def test_bound_is_5(self):
+        assert rounding_loss_bound(TABLE2) == 5
+        assert verify_bound(TABLE2, 0.2)
+
+    def test_table_layout_matches_paper(self):
+        table = information_loss_table(TABLE2, 0.2)
+        # columns: N_k, lambda*N_k, round(lambda*N_k), k*round(lambda*N_k)
+        assert table[1] == (2, pytest.approx(0.4), 0, 0)
+        assert table[2] == (3, pytest.approx(0.6), 1, 2)
+        assert table[3] == (9, pytest.approx(1.8), 2, 6)
+        assert table[4] == (4, pytest.approx(0.8), 1, 4)
+        assert table[5] == (2, pytest.approx(0.4), 0, 0)
+        assert sum(row[3] for row in table.values()) == 12
+
+    def test_table_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            information_loss_table(TABLE2, 1.5)
+
+
+class TestBoundProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        counts=st.dictionaries(
+            st.integers(0, 12), st.integers(1, 200), min_size=1, max_size=10
+        ),
+        fraction=st.floats(0.05, 1.0),
+    )
+    def test_information_loss_never_exceeds_bound(self, counts, fraction):
+        """Eq. 7: the ε information loss is bounded by the maximum miss count K."""
+        dist = MissDistribution(counts=counts, total=sum(counts.values()))
+        assert verify_bound(dist, fraction)
+
+    def test_loss_is_zero_when_fraction_is_one(self):
+        assert information_loss(TABLE2, 1.0) == pytest.approx(0.0)

@@ -1,0 +1,162 @@
+"""Tests for QCore construction (Algorithm 1) and the QCoreSet data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import QCoreBuilder, QCoreSet
+from repro.core.qcore_builder import distribution_of
+from repro.data import Dataset, SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.models import InceptionTimeSurrogate
+
+TINY_TS = SyntheticTimeSeriesConfig(
+    num_classes=4, num_domains=2, channels=3, length=20,
+    train_per_class=15, val_per_class=2, test_per_class=4,
+)
+
+
+@pytest.fixture(scope="module")
+def build_result():
+    """Train a small model once and build its QCore (shared across tests)."""
+    rng = np.random.default_rng(0)
+    data = make_dsa_surrogate(seed=0, config=TINY_TS)
+    train = data["Subj. 1"].train
+    model = InceptionTimeSurrogate(3, TINY_TS.num_classes, branch_channels=4, depth=1, rng=rng)
+    builder = QCoreBuilder(levels=(2, 4, 8), size=12)
+    optimizer = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    result = builder.build_during_training(model, optimizer, train, epochs=8, batch_size=16, rng=rng)
+    return builder, result, train, model
+
+
+class TestQCoreSet:
+    def _make(self, n=10, budget=10):
+        rng = np.random.default_rng(0)
+        return QCoreSet(
+            features=rng.normal(size=(n, 2, 5)),
+            labels=rng.integers(0, 3, size=n),
+            miss_counts=rng.integers(0, 4, size=n),
+            num_classes=3,
+            levels=[2, 4, 8],
+            budget=budget,
+        )
+
+    def test_size_and_dataset_view(self):
+        qcore = self._make()
+        assert qcore.size == 10
+        ds = qcore.as_dataset()
+        assert isinstance(ds, Dataset)
+        assert len(ds) == 10
+
+    def test_budget_enforced(self):
+        with pytest.raises(ValueError):
+            self._make(n=10, budget=5)
+
+    def test_replicated_scales_examples(self):
+        qcore = self._make(n=4)
+        replicated = qcore.replicated(3)
+        assert len(replicated) == 12
+        np.testing.assert_allclose(replicated.features[:4], qcore.features)
+        np.testing.assert_allclose(replicated.features[4:8], qcore.features)
+
+    def test_replicated_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            self._make().replicated(0)
+
+    def test_copy_is_deep(self):
+        qcore = self._make()
+        clone = qcore.copy()
+        clone.features[...] = 0
+        assert not np.allclose(qcore.features, 0)
+
+    def test_from_dataset_defaults(self):
+        ds = Dataset(np.zeros((5, 2)), np.zeros(5, dtype=int), 2)
+        qcore = QCoreSet.from_dataset(ds, name="wrapped")
+        assert qcore.size == 5
+        np.testing.assert_array_equal(qcore.miss_counts, 0)
+
+    def test_memory_bytes_positive(self):
+        assert self._make().memory_bytes() > 0
+
+
+class TestSampling:
+    def _dataset(self, n=100):
+        rng = np.random.default_rng(1)
+        return Dataset(rng.normal(size=(n, 2)), rng.integers(0, 4, size=n), 4)
+
+    def test_sample_has_exact_size(self):
+        dataset = self._dataset()
+        rng = np.random.default_rng(2)
+        misses = rng.integers(0, 6, size=len(dataset))
+        builder = QCoreBuilder(levels=(4,), size=20)
+        qcore = builder.sample_qcore(dataset, misses, rng=rng)
+        assert qcore.size == 20
+
+    def test_sample_replicates_distribution_shape(self):
+        dataset = self._dataset(n=200)
+        rng = np.random.default_rng(3)
+        # 80% easy examples (0 misses), 20% hard (5 misses)
+        misses = np.zeros(200, dtype=int)
+        misses[:40] = 5
+        builder = QCoreBuilder(levels=(4,), size=50)
+        qcore = builder.sample_qcore(dataset, misses, rng=rng)
+        hist = qcore.miss_distribution()
+        assert hist.get(5, 0) == pytest.approx(10, abs=2)
+        assert hist.get(0, 0) == pytest.approx(40, abs=2)
+
+    def test_sample_rejects_oversized_request(self):
+        dataset = self._dataset(n=10)
+        builder = QCoreBuilder(levels=(4,), size=20)
+        with pytest.raises(ValueError):
+            builder.sample_qcore(dataset, np.zeros(10, dtype=int), rng=np.random.default_rng(0))
+
+    def test_sample_rejects_mismatched_misses(self):
+        dataset = self._dataset(n=10)
+        builder = QCoreBuilder(levels=(4,), size=5)
+        with pytest.raises(ValueError):
+            builder.sample_qcore(dataset, np.zeros(7, dtype=int), rng=np.random.default_rng(0))
+
+    def test_allocation_handles_tiny_buckets(self):
+        dataset = self._dataset(n=30)
+        misses = np.zeros(30, dtype=int)
+        misses[0] = 9  # a single very hard example
+        builder = QCoreBuilder(levels=(4,), size=10)
+        qcore = builder.sample_qcore(dataset, misses, rng=np.random.default_rng(0))
+        assert qcore.size == 10
+
+
+class TestBuildDuringTraining:
+    def test_build_produces_qcore_of_requested_size(self, build_result):
+        builder, result, train, model = build_result
+        assert result.qcore.size == 12
+        assert result.qcore.levels == [2, 4, 8]
+        assert len(result.history.losses) == 8
+
+    def test_tracker_covers_all_levels_plus_full_precision(self, build_result):
+        builder, result, train, model = build_result
+        assert sorted(result.tracker.levels) == [2, 4, 8, 32]
+        assert result.tracker.steps_observed[4] == 8
+
+    def test_low_bit_models_have_more_misses(self, build_result):
+        """Figure 8: the miss distribution shifts right as bit-width decreases."""
+        builder, result, train, model = build_result
+        misses2 = result.tracker.misses_per_example(2).sum()
+        misses8 = result.tracker.misses_per_example(8).sum()
+        misses32 = result.tracker.misses_per_example(32).sum()
+        assert misses2 >= misses8
+        assert misses8 >= misses32
+
+    def test_variant_construction(self, build_result):
+        builder, result, train, model = build_result
+        rng = np.random.default_rng(5)
+        for variant in ("qcore", "random", "core-2", "core-4", "core-8", "core-32"):
+            subset = builder.build_variant(train, result.tracker, variant, rng=rng)
+            assert subset.size == 12
+        with pytest.raises(ValueError):
+            builder.build_variant(train, result.tracker, "magic", rng=rng)
+
+    def test_distribution_of_qcore_has_support(self, build_result):
+        builder, result, train, model = build_result
+        dist = distribution_of(result.qcore)
+        assert dist.total == result.qcore.size

@@ -1,0 +1,122 @@
+"""Tests for quantization-miss tracking and distributions (Eq. 2, Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MissDistribution, QuantizationMissTracker
+
+
+class TestTracker:
+    def test_miss_counted_only_on_correct_to_incorrect_flip(self):
+        tracker = QuantizationMissTracker(num_examples=3, levels=[4])
+        labels = np.array([0, 1, 2])
+        # step 1: all correct (no previous step, so no misses)
+        assert tracker.observe_predictions(4, np.array([0, 1, 2]), labels) == 0
+        # step 2: example 0 flips to wrong -> one miss
+        assert tracker.observe_predictions(4, np.array([1, 1, 2]), labels) == 1
+        # step 3: example 0 stays wrong (no new miss), example 2 flips -> one miss
+        assert tracker.observe_predictions(4, np.array([1, 1, 0]), labels) == 1
+        np.testing.assert_array_equal(tracker.misses_per_example(4), [1, 0, 1])
+
+    def test_incorrect_to_correct_is_not_a_miss(self):
+        tracker = QuantizationMissTracker(num_examples=2, levels=[2])
+        labels = np.array([0, 0])
+        tracker.observe_predictions(2, np.array([1, 1]), labels)  # both wrong
+        tracker.observe_predictions(2, np.array([0, 0]), labels)  # both recover
+        np.testing.assert_array_equal(tracker.misses_per_example(2), [0, 0])
+
+    def test_levels_tracked_independently(self):
+        tracker = QuantizationMissTracker(num_examples=2, levels=[2, 8])
+        labels = np.array([0, 0])
+        tracker.observe_predictions(2, np.array([0, 0]), labels)
+        tracker.observe_predictions(2, np.array([1, 0]), labels)
+        tracker.observe_predictions(8, np.array([0, 0]), labels)
+        tracker.observe_predictions(8, np.array([0, 0]), labels)
+        assert tracker.misses_per_example(2).sum() == 1
+        assert tracker.misses_per_example(8).sum() == 0
+
+    def test_unknown_level_rejected(self):
+        tracker = QuantizationMissTracker(num_examples=2, levels=[4])
+        with pytest.raises(KeyError):
+            tracker.observe(8, np.array([True, True]))
+        with pytest.raises(KeyError):
+            tracker.misses_per_example(8)
+
+    def test_shape_validation(self):
+        tracker = QuantizationMissTracker(num_examples=3, levels=[4])
+        with pytest.raises(ValueError):
+            tracker.observe(4, np.array([True, False]))
+
+    def test_paper_figure4_example(self):
+        """Reproduce Figure 4: per-level misses, per-example sums and the PMF."""
+        tracker = QuantizationMissTracker(num_examples=4, levels=[2, 4, 8])
+        # Directly inject the per-level miss counts from Figure 4.
+        tracker.misses[2] = np.array([3, 3, 1, 2])
+        tracker.misses[4] = np.array([2, 2, 3, 5])
+        tracker.misses[8] = np.array([3, 2, 2, 1])
+        sums = tracker.combined_misses_per_example()
+        np.testing.assert_array_equal(sums, [8, 7, 6, 8])
+        distribution = tracker.combined_distribution()
+        assert distribution.counts == {6: 1, 7: 1, 8: 2}
+        assert distribution.probability(8) == pytest.approx(0.5)
+        assert distribution.probability(6) == pytest.approx(0.25)
+
+    def test_combined_subset_of_levels(self):
+        tracker = QuantizationMissTracker(num_examples=2, levels=[2, 4, 8])
+        tracker.misses[2] = np.array([1, 0])
+        tracker.misses[4] = np.array([2, 1])
+        tracker.misses[8] = np.array([0, 1])
+        np.testing.assert_array_equal(
+            tracker.combined_misses_per_example([2, 4]), [3, 1]
+        )
+        with pytest.raises(KeyError):
+            tracker.combined_misses_per_example([16])
+
+    def test_aggregated_level_distribution_sums_counts(self):
+        tracker = QuantizationMissTracker(num_examples=3, levels=[2, 4])
+        tracker.misses[2] = np.array([1, 1, 2])
+        tracker.misses[4] = np.array([2, 2, 2])
+        aggregated = tracker.aggregated_level_distribution()
+        # level 2 contributes {1: 2, 2: 1}, level 4 contributes {2: 3}
+        assert aggregated.counts == {1: 2, 2: 4}
+
+
+class TestMissDistribution:
+    def test_expected_misses_matches_manual(self):
+        dist = MissDistribution(counts={1: 2, 2: 3, 3: 9, 4: 4, 5: 2}, total=20)
+        assert dist.expected_misses() == pytest.approx(61 / 20)
+        assert dist.max_misses == 5
+        assert dist.support() == [1, 2, 3, 4, 5]
+
+    def test_scaled_uses_rounding(self):
+        dist = MissDistribution(counts={1: 2, 2: 3, 3: 9, 4: 4, 5: 2}, total=20)
+        scaled = dist.scaled(0.2)
+        # Table 2 of the paper: rounded counts are 0, 1, 2, 1, 0
+        assert scaled.counts == {2: 1, 3: 2, 4: 1}
+        assert scaled.total == 4
+
+    def test_probability_of_missing_bucket_is_zero(self):
+        dist = MissDistribution(counts={1: 5}, total=5)
+        assert dist.probability(7) == 0.0
+
+    def test_scaled_rejects_bad_fraction(self):
+        dist = MissDistribution(counts={1: 5}, total=5)
+        with pytest.raises(ValueError):
+            dist.scaled(0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        counts=st.dictionaries(
+            st.integers(0, 10), st.integers(1, 50), min_size=1, max_size=8
+        ),
+        fraction=st.floats(0.05, 1.0),
+    )
+    def test_property_scaled_total_close_to_fraction(self, counts, fraction):
+        dist = MissDistribution(counts=counts, total=sum(counts.values()))
+        scaled = dist.scaled(fraction)
+        # Rounding each bucket changes the total by at most half an example per bucket.
+        assert abs(scaled.total - fraction * dist.total) <= 0.5 * len(counts) + 1e-9

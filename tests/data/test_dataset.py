@@ -1,0 +1,117 @@
+"""Tests for the Dataset / DomainDataset / MultiDomainDataset containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, DomainDataset, MultiDomainDataset
+
+
+def _toy_dataset(n=30, num_classes=3, rng=None, name="toy"):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    features = rng.normal(size=(n, 2, 8))
+    labels = rng.integers(0, num_classes, size=n)
+    return Dataset(features, labels, num_classes, name=name)
+
+
+class TestDataset:
+    def test_length_and_input_shape(self):
+        ds = _toy_dataset()
+        assert len(ds) == 30
+        assert ds.input_shape == (2, 8)
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.normal(size=(5, 3)), np.zeros(4, dtype=int), 2)
+
+    def test_rejects_out_of_range_labels(self, rng):
+        with pytest.raises(ValueError):
+            Dataset(rng.normal(size=(3, 2)), np.array([0, 1, 5]), 3)
+
+    def test_subset_copies_data(self, rng):
+        ds = _toy_dataset(rng=rng)
+        sub = ds.subset([0, 1, 2])
+        sub.features[...] = 0.0
+        assert not np.allclose(ds.features[:3], 0.0)
+
+    def test_concat_checks_compatibility(self, rng):
+        a = _toy_dataset(rng=rng)
+        b = _toy_dataset(rng=rng)
+        combined = a.concat(b)
+        assert len(combined) == len(a) + len(b)
+        other = Dataset(rng.normal(size=(4, 3, 8)), np.zeros(4, dtype=int), 3)
+        with pytest.raises(ValueError):
+            a.concat(other)
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 1, 1, 2]), 4)
+        np.testing.assert_array_equal(ds.class_counts(), [1, 2, 1, 0])
+
+    def test_split_is_stratified_and_complete(self, rng):
+        features = rng.normal(size=(60, 2))
+        labels = np.repeat(np.arange(3), 20)
+        ds = Dataset(features, labels, 3)
+        train, val, test = ds.split([0.5, 0.25, 0.25], rng)
+        assert len(train) + len(val) + len(test) == 60
+        for part in (train, val, test):
+            assert np.all(part.class_counts() > 0)
+
+    def test_split_rejects_bad_fractions(self, rng):
+        ds = _toy_dataset(rng=rng)
+        with pytest.raises(ValueError):
+            ds.split([0.5, 0.6], rng)
+
+    def test_shuffled_preserves_pairs(self, rng):
+        features = np.arange(10)[:, None].astype(float)
+        labels = np.arange(10) % 2
+        ds = Dataset(features, labels, 2)
+        shuffled = ds.shuffled(rng)
+        for row, label in zip(shuffled.features[:, 0], shuffled.labels):
+            assert int(row) % 2 == label
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(4, 40), num_classes=st.integers(2, 5))
+    def test_property_split_partitions_examples(self, n, num_classes):
+        rng = np.random.default_rng(7)
+        features = np.arange(n, dtype=float)[:, None]
+        labels = np.arange(n) % num_classes
+        ds = Dataset(features, labels, num_classes)
+        parts = ds.split([0.6, 0.4], rng)
+        values = np.concatenate([p.features[:, 0] for p in parts])
+        assert sorted(values.tolist()) == list(range(n))
+
+
+class TestMultiDomainDataset:
+    def _make(self, rng):
+        domains = {}
+        for name in ("A", "B", "C"):
+            ds = _toy_dataset(rng=rng, name=name)
+            train, val, test = ds.split([0.6, 0.2, 0.2], rng)
+            domains[name] = DomainDataset(domain=name, train=train, val=val, test=test)
+        return MultiDomainDataset(name="toy", domains=domains)
+
+    def test_domain_access_and_pairs(self, rng):
+        mdd = self._make(rng)
+        assert mdd.domain_names == ["A", "B", "C"]
+        assert ("A", "B") in mdd.domain_pairs()
+        assert ("A", "A") not in mdd.domain_pairs()
+        assert len(mdd.domain_pairs()) == 6
+        with pytest.raises(KeyError):
+            mdd["Z"]
+
+    def test_requires_consistent_domains(self, rng):
+        good = _toy_dataset(rng=rng)
+        bad = Dataset(rng.normal(size=(10, 5, 8)), rng.integers(0, 3, 10), 3)
+        train, val, test = good.split([0.6, 0.2, 0.2], rng)
+        train_b, val_b, test_b = bad.split([0.6, 0.2, 0.2], rng)
+        with pytest.raises(ValueError):
+            MultiDomainDataset(
+                name="broken",
+                domains={
+                    "A": DomainDataset("A", train, val, test),
+                    "B": DomainDataset("B", train_b, val_b, test_b),
+                },
+            )

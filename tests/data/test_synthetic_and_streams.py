@@ -1,0 +1,148 @@
+"""Tests for the synthetic dataset surrogates and the stream scenario builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticImageConfig,
+    SyntheticTimeSeriesConfig,
+    build_stream_scenario,
+    load_dataset,
+    make_caltech10_surrogate,
+    make_dsa_surrogate,
+    make_usc_surrogate,
+)
+from repro.data.streams import scenario_pairs
+
+SMALL_TS = SyntheticTimeSeriesConfig(
+    num_classes=5, num_domains=3, channels=3, length=20,
+    train_per_class=10, val_per_class=2, test_per_class=4,
+)
+SMALL_IMG = SyntheticImageConfig(
+    num_classes=4, num_domains=3, channels=3, size=12,
+    train_per_class=8, val_per_class=2, test_per_class=4,
+)
+
+
+class TestSyntheticGenerators:
+    def test_dsa_structure(self):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        assert data.name == "DSA"
+        assert len(data.domain_names) == 3
+        assert data.num_classes == 5
+        assert data.input_shape == (3, 20)
+        domain = data["Subj. 1"]
+        assert len(domain.train) == 5 * 10
+        assert len(domain.test) == 5 * 4
+
+    def test_usc_default_structure(self):
+        data = make_usc_surrogate(seed=0, config=SMALL_TS)
+        assert data.name == "USC"
+
+    def test_caltech_structure(self):
+        data = make_caltech10_surrogate(seed=0, config=SMALL_IMG)
+        assert data.name == "Caltech10"
+        assert data.domain_names == ["Amazon", "Caltech", "DSLR"]
+        assert data.input_shape == (3, 12, 12)
+
+    def test_reproducible_for_same_seed(self):
+        a = make_dsa_surrogate(seed=3, config=SMALL_TS)
+        b = make_dsa_surrogate(seed=3, config=SMALL_TS)
+        np.testing.assert_allclose(
+            a["Subj. 1"].train.features, b["Subj. 1"].train.features
+        )
+
+    def test_different_seeds_differ(self):
+        a = make_dsa_surrogate(seed=3, config=SMALL_TS)
+        b = make_dsa_surrogate(seed=4, config=SMALL_TS)
+        assert not np.allclose(a["Subj. 1"].train.features, b["Subj. 1"].train.features)
+
+    def test_domains_shift_distribution(self):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        a = data["Subj. 1"].train.features
+        b = data["Subj. 2"].train.features
+        # The per-domain transforms should move the mean / scale noticeably.
+        assert abs(a.mean() - b.mean()) + abs(a.std() - b.std()) > 1e-3
+
+    def test_all_classes_present_in_every_split(self):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        for domain in data.domains.values():
+            for part in (domain.train, domain.val, domain.test):
+                assert np.all(part.class_counts() > 0)
+
+    def test_classes_are_separable_by_simple_rule(self):
+        """A nearest-class-mean rule should beat chance by a wide margin."""
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        domain = data["Subj. 1"]
+        train, test = domain.train, domain.test
+        means = np.stack(
+            [
+                train.features[train.labels == c].mean(axis=0).ravel()
+                for c in range(train.num_classes)
+            ]
+        )
+        flat = test.features.reshape(len(test), -1)
+        predictions = np.argmin(
+            ((flat[:, None, :] - means[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        accuracy = np.mean(predictions == test.labels)
+        assert accuracy > 2.0 / train.num_classes
+
+
+class TestRegistry:
+    def test_load_by_name_case_insensitive(self):
+        data = load_dataset("dsa", seed=0, small=True)
+        assert data.name == "DSA"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_small_variants_for_all_datasets(self):
+        for name in ("DSA", "USC", "Caltech10"):
+            data = load_dataset(name, seed=0, small=True)
+            assert len(data.domain_names) >= 2
+
+    def test_explicit_config_passthrough(self):
+        data = load_dataset("DSA", seed=0, config=SMALL_TS)
+        assert data.num_classes == SMALL_TS.num_classes
+
+
+class TestStreamScenario:
+    def test_build_scenario_structure(self, rng):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        scenario = build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=5, rng=rng)
+        assert scenario.num_batches == 5
+        assert scenario.description == "DSA: Subj. 1 → Subj. 2"
+        total_stream = sum(len(b.data) for b in scenario.batches)
+        assert total_stream == len(data["Subj. 2"].train)
+        total_test = sum(len(b.test) for b in scenario.batches)
+        assert total_test == len(data["Subj. 2"].test)
+
+    def test_batches_are_disjoint(self, rng):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        scenario = build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=4, rng=rng)
+        seen = []
+        for batch in scenario.batches:
+            seen.extend(batch.data.features.reshape(len(batch.data), -1).sum(axis=1).tolist())
+        # disjoint subsets of a continuous-valued dataset have no repeated rows
+        assert len(seen) == len(set(np.round(seen, 9)))
+
+    def test_rejects_same_source_and_target(self, rng):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        with pytest.raises(ValueError):
+            build_stream_scenario(data, "Subj. 1", "Subj. 1", rng=rng)
+
+    def test_rejects_too_many_batches(self, rng):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        with pytest.raises(ValueError):
+            build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=10_000, rng=rng)
+
+    def test_scenario_pairs_truncation(self):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        assert len(scenario_pairs(data)) == 6
+        assert len(scenario_pairs(data, max_pairs=2)) == 2
+        with pytest.raises(ValueError):
+            scenario_pairs(data, max_pairs=0)

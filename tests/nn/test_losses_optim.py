@@ -1,0 +1,226 @@
+"""Tests for losses, optimisers, module utilities and training loops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.training import (
+    TrainingHistory,
+    evaluate,
+    iterate_minibatches,
+    predict_labels,
+    predict_proba,
+    train_classifier,
+)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 2])
+        loss_fn = nn.CrossEntropyLoss()
+        loss = loss_fn.forward(logits, labels)
+        probs = F.softmax(logits, axis=1)
+        expected = -np.mean(np.log(probs[np.arange(4), labels]))
+        assert loss == pytest.approx(expected)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        loss_fn = nn.CrossEntropyLoss()
+        loss_fn.forward(logits, labels)
+        grad = loss_fn.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                logits[i, j] += eps
+                plus = loss_fn.forward(logits, labels)
+                logits[i, j] -= 2 * eps
+                minus = loss_fn.forward(logits, labels)
+                logits[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_weighted_loss_prefers_weighted_examples(self, rng):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]])
+        labels = np.array([1, 1])  # first example is wrong, second is right
+        loss_fn = nn.CrossEntropyLoss()
+        heavy_on_wrong = loss_fn.forward(logits, labels, sample_weights=np.array([10.0, 1.0]))
+        heavy_on_right = loss_fn.forward(logits, labels, sample_weights=np.array([1.0, 10.0]))
+        assert heavy_on_wrong > heavy_on_right
+
+    def test_rejects_mismatched_shapes(self, rng):
+        loss_fn = nn.CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss_fn.forward(rng.normal(size=(3, 2)), np.array([0, 1]))
+
+
+class TestMSE:
+    def test_value_and_gradient(self):
+        loss_fn = nn.MSELoss()
+        pred = np.array([[1.0, 2.0], [3.0, 4.0]])
+        target = np.array([[0.0, 2.0], [3.0, 2.0]])
+        loss = loss_fn.forward(pred, target)
+        assert loss == pytest.approx((1.0 + 0.0 + 0.0 + 4.0) / 4)
+        grad = loss_fn.backward()
+        np.testing.assert_allclose(grad, 2 * (pred - target) / 4)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        param = nn.Parameter(np.array([1.0, -1.0]))
+        param.accumulate_grad(np.array([0.5, -0.5]))
+        opt = nn.SGD([param], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(param.data, [0.95, -0.95])
+
+    def test_sgd_momentum_accumulates(self):
+        param = nn.Parameter(np.array([0.0]))
+        opt = nn.SGD([param], lr=1.0, momentum=0.9)
+        param.accumulate_grad(np.array([1.0]))
+        opt.step()
+        first = param.data.copy()
+        param.zero_grad()
+        param.accumulate_grad(np.array([1.0]))
+        opt.step()
+        # With momentum the second step is larger than the first.
+        assert abs(param.data[0] - first[0]) > abs(first[0])
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = nn.Parameter(np.array([10.0]))
+        opt = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        opt.step()  # gradient is zero; only decay acts
+        assert param.data[0] < 10.0
+
+    def test_adam_reduces_quadratic_loss(self):
+        param = nn.Parameter(np.array([5.0]))
+        opt = nn.Adam([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            param.accumulate_grad(2 * param.data)  # d/dx x^2
+            opt.step()
+        assert abs(param.data[0]) < 0.5
+
+    def test_requires_grad_false_is_skipped(self):
+        param = nn.Parameter(np.array([1.0]), requires_grad=False)
+        param.accumulate_grad(np.array([1.0]))
+        nn.SGD([param], lr=0.5).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestModuleUtilities:
+    def test_state_dict_round_trip(self, rng):
+        model = nn.Sequential(nn.Dense(3, 4, rng=rng), nn.ReLU(), nn.Dense(4, 2, rng=rng))
+        state = model.state_dict()
+        clone = nn.Sequential(nn.Dense(3, 4, rng=rng), nn.ReLU(), nn.Dense(4, 2, rng=rng))
+        clone.load_state_dict(state)
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(model.forward(x), clone.forward(x))
+
+    def test_load_state_dict_rejects_unknown_keys(self, rng):
+        model = nn.Sequential(nn.Dense(3, 2, rng=rng))
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_weighted_layers_finds_conv_and_dense(self, rng):
+        model = nn.Sequential(
+            nn.Conv1d(2, 3, 3, rng=rng), nn.ReLU(), nn.Flatten(), nn.Dense(9, 2, rng=rng)
+        )
+        names = [type(m).__name__ for m in model.weighted_layers()]
+        assert "Conv1d" in names and "Dense" in names
+
+    def test_num_parameters_counts_everything(self, rng):
+        model = nn.Dense(3, 4, rng=rng)
+        assert model.num_parameters() == 3 * 4 + 4
+
+    def test_parameter_shape_mismatch_on_load(self, rng):
+        model = nn.Sequential(nn.Dense(3, 2, rng=rng))
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestTrainingLoop:
+    def test_minibatches_cover_all_examples(self, rng):
+        x = np.arange(10)[:, None].astype(float)
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, batch_size=3, rng=rng):
+            assert bx.shape[0] == by.shape[0]
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_training_improves_accuracy(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = nn.Sequential(nn.Dense(3, 16, rng=rng), nn.ReLU(), nn.Dense(16, 3, rng=rng))
+        before = evaluate(model, x, y)
+        optimizer = nn.SGD(model.parameters(), lr=0.1)
+        history = train_classifier(model, optimizer, x, y, epochs=30, batch_size=16, rng=rng)
+        after = evaluate(model, x, y)
+        assert isinstance(history, TrainingHistory)
+        assert after > before
+        assert after > 0.9
+
+    def test_epoch_callback_invoked(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = nn.Sequential(nn.Dense(3, 8, rng=rng), nn.ReLU(), nn.Dense(8, 3, rng=rng))
+        calls = []
+        train_classifier(
+            model,
+            nn.SGD(model.parameters(), lr=0.05),
+            x,
+            y,
+            epochs=3,
+            rng=rng,
+            epoch_callback=lambda epoch, m: calls.append(epoch),
+        )
+        assert calls == [0, 1, 2]
+
+    def test_predict_proba_rows_sum_to_one(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = nn.Sequential(nn.Dense(3, 8, rng=rng), nn.ReLU(), nn.Dense(8, 3, rng=rng))
+        probs = predict_proba(model, x)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(x.shape[0]))
+        labels = predict_labels(model, x)
+        np.testing.assert_array_equal(labels, probs.argmax(axis=1))
+
+
+class TestFunctional:
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(encoded, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 3]), 3)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = F.softmax(rng.normal(size=(5, 4)) * 50)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert np.all(np.isfinite(probs))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert F.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_clip_gradients_limits_norm(self, rng):
+        grads = [rng.normal(size=(4, 4)) * 100 for _ in range(3)]
+        F.clip_gradients(grads, max_norm=1.0)
+        total = np.sqrt(sum(np.sum(g ** 2) for g in grads))
+        assert total <= 1.0 + 1e-9

@@ -1,0 +1,153 @@
+"""Tests for the QuantizedModel wrapper and QAT calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.training import evaluate, train_classifier
+from repro.quantization import (
+    QuantizationConfig,
+    QuantizedModel,
+    calibrate_with_backprop,
+    quantize_model,
+)
+from repro.quantization.qmodel import temporarily_quantized
+
+
+def _make_trained_model(x, y, rng):
+    model = nn.Sequential(nn.Dense(3, 16, rng=rng), nn.ReLU(), nn.Dense(16, 3, rng=rng))
+    train_classifier(model, nn.SGD(model.parameters(), lr=0.1), x, y, epochs=40, rng=rng)
+    return model
+
+
+class TestQuantizedModel:
+    def test_eight_bit_matches_full_precision_closely(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        fp_acc = evaluate(model, x, y)
+        qmodel = quantize_model(model, bits=8)
+        assert qmodel.evaluate(x, y) >= fp_acc - 0.05
+
+    def test_lower_bits_use_less_memory(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        sizes = [quantize_model(model, bits=b).memory_bits() for b in (2, 4, 8)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_apply_flips_changes_predictions_only_slightly(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        qmodel = quantize_model(model, bits=8)
+        before = qmodel.predict(x)
+        flips = {
+            name: rng.integers(-1, 2, size=qt.codes.shape)
+            for name, qt in qmodel.qtensors.items()
+        }
+        qmodel.apply_flips(flips)
+        after = qmodel.predict(x)
+        # Single-step bit flips perturb an 8-bit model only mildly.
+        assert np.mean(before == after) > 0.5
+
+    def test_apply_flips_unknown_name_rejected(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        with pytest.raises(KeyError):
+            qmodel.apply_flips({"nope": np.zeros(3)})
+
+    def test_clone_is_independent(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        clone = qmodel.clone()
+        flips = {name: np.ones_like(qt.codes) for name, qt in clone.qtensors.items()}
+        clone.apply_flips(flips)
+        for name in qmodel.qtensors:
+            assert not np.array_equal(clone.qtensors[name].codes, qmodel.qtensors[name].codes) or np.all(
+                qmodel.qtensors[name].codes == qmodel.qtensors[name].config.qmax
+            )
+
+    def test_quantization_error_decreases_with_bits(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        err2 = quantize_model(model, bits=2).quantization_error()
+        err8 = quantize_model(model, bits=8).quantization_error()
+        assert err2 > err8
+
+    def test_snapshot_codes_returns_copies(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        snap = qmodel.snapshot_codes()
+        name = next(iter(snap))
+        snap[name][...] = 99
+        assert not np.array_equal(snap[name], qmodel.qtensors[name].codes)
+
+    def test_num_parameters_matches_model(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        qmodel = quantize_model(model, bits=4)
+        assert qmodel.num_parameters() == model.num_parameters()
+
+
+class TestTemporarilyQuantized:
+    def test_weights_restored_after_context(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        original = model.state_dict()
+        with temporarily_quantized(model, bits=2):
+            inside = model.state_dict()
+            assert any(
+                not np.allclose(original[name], inside[name]) for name in original
+            )
+        restored = model.state_dict()
+        for name in original:
+            np.testing.assert_allclose(original[name], restored[name])
+
+    def test_restores_even_on_exception(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        original = model.state_dict()
+        with pytest.raises(RuntimeError):
+            with temporarily_quantized(model, bits=2):
+                raise RuntimeError("boom")
+        for name, values in model.state_dict().items():
+            np.testing.assert_allclose(original[name], values)
+
+
+class TestCalibrationWithBackprop:
+    def test_calibration_recovers_low_bit_accuracy(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        qmodel = quantize_model(model, bits=2)
+        before = qmodel.evaluate(x, y)
+        result = calibrate_with_backprop(qmodel, x, y, epochs=15, lr=0.05, rng=rng)
+        after = qmodel.evaluate(x, y)
+        assert result.epochs == 15
+        assert after >= before
+
+    def test_epoch_hook_sees_code_movement(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        diffs = []
+
+        def hook(epoch, qm, before, after):
+            total = sum(int(np.sum(np.abs(after[k] - before[k]))) for k in before)
+            diffs.append(total)
+
+        calibrate_with_backprop(qmodel, x, y, epochs=5, lr=0.05, rng=rng, epoch_hook=hook)
+        assert len(diffs) == 5
+        assert any(d > 0 for d in diffs)
+
+    def test_rejects_empty_data(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        with pytest.raises(ValueError):
+            calibrate_with_backprop(qmodel, x[:0], y[:0], epochs=1)
+
+    def test_rejects_bad_hyperparameters(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        with pytest.raises(ValueError):
+            calibrate_with_backprop(qmodel, x, y, epochs=0)
+        with pytest.raises(ValueError):
+            calibrate_with_backprop(qmodel, x, y, epochs=1, lr=-1.0)

@@ -1,0 +1,148 @@
+"""Tests for uniform quantization of tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization import QuantizationConfig, QuantizedTensor, UniformQuantizer
+from repro.quantization.quantizer import quantize_state
+
+
+class TestQuantizationConfig:
+    def test_symmetric_range(self):
+        cfg = QuantizationConfig(bits=4, symmetric=True)
+        assert cfg.qmin == -7
+        assert cfg.qmax == 7
+        assert cfg.num_levels == 16
+
+    def test_asymmetric_range(self):
+        cfg = QuantizationConfig(bits=4, symmetric=False)
+        assert cfg.qmin == 0
+        assert cfg.qmax == 15
+
+    def test_rejects_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationConfig(bits=1)
+        with pytest.raises(ValueError):
+            QuantizationConfig(bits=64)
+
+
+class TestUniformQuantizer:
+    def test_codes_within_range(self, rng):
+        for bits in (2, 4, 8):
+            cfg = QuantizationConfig(bits=bits)
+            qt = UniformQuantizer(cfg).quantize(rng.normal(size=(10, 10)))
+            assert qt.codes.min() >= cfg.qmin
+            assert qt.codes.max() <= cfg.qmax
+
+    def test_roundtrip_error_shrinks_with_bits(self, rng):
+        values = rng.normal(size=(50, 50))
+        errors = []
+        for bits in (2, 4, 8):
+            quantizer = UniformQuantizer(QuantizationConfig(bits=bits))
+            errors.append(quantizer.quantization_error(values))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_eight_bit_roundtrip_is_accurate(self, rng):
+        values = rng.normal(size=(20, 20))
+        quantizer = UniformQuantizer(QuantizationConfig(bits=8))
+        reconstructed = quantizer.fake_quantize(values)
+        assert np.max(np.abs(values - reconstructed)) < np.max(np.abs(values)) / 100
+
+    def test_zero_tensor(self):
+        qt = UniformQuantizer(QuantizationConfig(bits=4)).quantize(np.zeros((3, 3)))
+        np.testing.assert_array_equal(qt.codes, 0)
+        np.testing.assert_array_equal(qt.dequantize(), 0.0)
+
+    def test_asymmetric_covers_min_max(self, rng):
+        values = rng.uniform(2.0, 5.0, size=(100,))
+        quantizer = UniformQuantizer(QuantizationConfig(bits=8, symmetric=False))
+        reconstructed = quantizer.fake_quantize(values)
+        assert abs(reconstructed.min() - values.min()) < 0.05
+        assert abs(reconstructed.max() - values.max()) < 0.05
+
+    def test_paper_figure2_example(self):
+        # Figure 2: with 3-bit quantization over levels spaced by 10, the value
+        # 17.831 falls in [15, 25) and maps to the level 20.
+        levels = np.array([-30, -20, -10, 0, 10, 20, 30], dtype=float)
+        quantizer = UniformQuantizer(QuantizationConfig(bits=3, symmetric=True))
+        qt = quantizer.quantize(levels)
+        assert qt.scale == pytest.approx(10.0)
+        code = int(np.clip(round(17.831 / qt.scale), qt.config.qmin, qt.config.qmax))
+        assert qt.scale * code == pytest.approx(20.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.sampled_from([2, 3, 4, 8]),
+        data=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+    )
+    def test_property_roundtrip_error_bounded_by_half_scale(self, bits, data):
+        """Quantization error of any value inside the range is at most scale/2."""
+        values = np.array(data)
+        quantizer = UniformQuantizer(QuantizationConfig(bits=bits))
+        qt = quantizer.quantize(values)
+        reconstructed = qt.dequantize()
+        assert np.all(np.abs(values - reconstructed) <= qt.scale / 2 + 1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.sampled_from([2, 4, 8]),
+        data=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+    )
+    def test_property_codes_in_range(self, bits, data):
+        cfg = QuantizationConfig(bits=bits)
+        qt = UniformQuantizer(cfg).quantize(np.array(data))
+        assert qt.codes.min() >= cfg.qmin
+        assert qt.codes.max() <= cfg.qmax
+
+
+class TestQuantizedTensor:
+    def _make(self, bits=4):
+        cfg = QuantizationConfig(bits=bits)
+        return UniformQuantizer(cfg).quantize(np.linspace(-1, 1, 10)), cfg
+
+    def test_apply_flips_moves_codes(self):
+        qt, _ = self._make()
+        before = qt.codes.copy()
+        flips = np.zeros_like(before)
+        flips[0] = 1
+        flips[1] = -1
+        qt.apply_flips(flips)
+        assert qt.codes[0] == min(before[0] + 1, qt.config.qmax)
+        assert qt.codes[1] == max(before[1] - 1, qt.config.qmin)
+
+    def test_apply_flips_clips_at_range(self):
+        qt, cfg = self._make(bits=2)
+        qt.apply_flips(np.ones_like(qt.codes))
+        qt.apply_flips(np.ones_like(qt.codes))
+        qt.apply_flips(np.ones_like(qt.codes))
+        assert qt.codes.max() <= cfg.qmax
+
+    def test_apply_flips_rejects_large_values(self):
+        qt, _ = self._make()
+        with pytest.raises(ValueError):
+            qt.apply_flips(np.full_like(qt.codes, 2))
+
+    def test_apply_flips_rejects_wrong_shape(self):
+        qt, _ = self._make()
+        with pytest.raises(ValueError):
+            qt.apply_flips(np.zeros(3, dtype=np.int64))
+
+    def test_copy_is_independent(self):
+        qt, _ = self._make()
+        clone = qt.copy()
+        clone.apply_flips(np.ones_like(clone.codes))
+        assert not np.array_equal(clone.codes, qt.codes)
+
+    def test_memory_bits(self):
+        qt, _ = self._make(bits=4)
+        assert qt.memory_bits() == 10 * 4
+
+
+def test_quantize_state_preserves_names(rng):
+    state = {"a.weight": rng.normal(size=(3, 3)), "b.bias": rng.normal(size=(3,))}
+    tensors = quantize_state(state, QuantizationConfig(bits=8))
+    assert {t.name for t in tensors} == {"a.weight", "b.bias"}

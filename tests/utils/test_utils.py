@@ -1,0 +1,72 @@
+"""Tests for the shared utilities (seeding, timing, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    ensure_fraction,
+    ensure_positive_int,
+    ensure_probability_vector,
+    seeded_rng,
+    spawn_rngs,
+)
+
+
+class TestSeeding:
+    def test_seeded_rng_is_deterministic(self):
+        a = seeded_rng(7).normal(size=5)
+        b = seeded_rng(7).normal(size=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_seeded_rng_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            seeded_rng(-1)
+
+    def test_spawn_rngs_are_independent_but_reproducible(self):
+        first = [rng.normal() for rng in spawn_rngs(3, 4)]
+        second = [rng.normal() for rng in spawn_rngs(3, 4)]
+        np.testing.assert_allclose(first, second)
+        assert len(set(np.round(first, 12))) == 4
+
+    def test_spawn_rngs_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            sum(range(10000))
+        assert timer.elapsed >= 0.0
+
+
+class TestValidation:
+    def test_ensure_positive_int(self):
+        assert ensure_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            ensure_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            ensure_positive_int(1.5, "x")
+        with pytest.raises(ValueError):
+            ensure_positive_int(True, "x")
+
+    def test_ensure_fraction(self):
+        assert ensure_fraction(0.5, "f") == 0.5
+        assert ensure_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValueError):
+            ensure_fraction(0.0, "f")
+        with pytest.raises(ValueError):
+            ensure_fraction(1.5, "f")
+
+    def test_ensure_probability_vector(self):
+        probs = ensure_probability_vector(np.array([1.0, 3.0]), "p")
+        np.testing.assert_allclose(probs, [0.25, 0.75])
+        with pytest.raises(ValueError):
+            ensure_probability_vector(np.array([-1.0, 2.0]), "p")
+        with pytest.raises(ValueError):
+            ensure_probability_vector(np.array([0.0, 0.0]), "p")
+        with pytest.raises(ValueError):
+            ensure_probability_vector(np.zeros((2, 2)), "p")
