@@ -1,0 +1,224 @@
+"""Fast-path runtime benchmark: edge-calibration steps/sec and QAT epoch time.
+
+Measures the three optimisations of the fast-path runtime against a compat
+mode that reproduces the seed implementation *in the same process*:
+
+* **baseline** — float64 compute, per-tensor BF inference (``fused=False``),
+  rewrite-everything synchronisation (``incremental=False``);
+* **fast** — float32 compute (the :mod:`repro.runtime` default), one fused BF
+  inference per calibration iteration, dirty-tensor incremental sync.
+
+It also verifies that at float64 the fused + incremental path proposes
+*numerically identical* flips to the per-tensor path, so the speedup is free.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_runtime.py           # full run
+    PYTHONPATH=src python benchmarks/bench_perf_runtime.py --smoke   # CI smoke
+
+Writes ``BENCH_perf.json`` at the repository root (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import nn, runtime
+from repro.core.bitflip import (
+    BitFlipCalibrator,
+    BitFlipNetwork,
+    FeatureNormalizer,
+    extract_parameter_features,
+)
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.models import build_model
+from repro.nn.training import train_classifier
+from repro.quantization import calibrate_with_backprop, quantize_model
+
+# Paper-realistic edge workload: DSA windows are 125 samples x 9+ channels.
+FULL_CONFIG = dict(
+    num_classes=6, num_domains=2, channels=9, length=125,
+    train_per_class=24, val_per_class=2, test_per_class=4,
+    pool_size=128, bits=4, train_epochs=2,
+    qat_epochs=3, qat_repeats=2,
+    edge_epochs=2, edge_repeats=6,
+)
+SMOKE_CONFIG = dict(
+    num_classes=3, num_domains=2, channels=3, length=16,
+    train_per_class=6, val_per_class=1, test_per_class=1,
+    pool_size=12, bits=4, train_epochs=1,
+    qat_epochs=1, qat_repeats=1,
+    edge_epochs=1, edge_repeats=1,
+)
+
+
+def _build_setup(config: dict, incremental: bool):
+    """Dataset, trained backbone, quantized model, BF network and normalizer.
+
+    Built under the *active* compute dtype so each mode measures a coherent
+    single-precision stack.
+    """
+    ts = SyntheticTimeSeriesConfig(
+        num_classes=config["num_classes"], num_domains=config["num_domains"],
+        channels=config["channels"], length=config["length"],
+        train_per_class=config["train_per_class"], val_per_class=config["val_per_class"],
+        test_per_class=config["test_per_class"],
+    )
+    data = make_dsa_surrogate(seed=0, config=ts)
+    source = data[data.domain_names[0]].train
+    target = data[data.domain_names[1]].train
+    rng = np.random.default_rng(0)
+    model = build_model("InceptionTime", data.input_shape, data.num_classes, rng=rng)
+    train_classifier(
+        model, nn.SGD(model.parameters(), lr=0.05, momentum=0.9),
+        source.features, source.labels,
+        epochs=config["train_epochs"], batch_size=32, rng=rng,
+    )
+    qmodel = quantize_model(model, bits=config["bits"], incremental=incremental)
+    normalizer = FeatureNormalizer()
+    extract_parameter_features(
+        qmodel, source.features[:32], normalizer=normalizer, fit_normalizer=True
+    )
+    network = BitFlipNetwork(rng=np.random.default_rng(1))
+    pool = target.subset(np.arange(min(config["pool_size"], len(target))))
+    return qmodel, network, normalizer, pool, source
+
+
+def _measure_edge(config: dict, dtype, fused: bool, incremental: bool) -> float:
+    """Edge-calibration steps (BF iterations) per second for one mode."""
+    with runtime.use_dtype(dtype):
+        qmodel, network, normalizer, pool, _ = _build_setup(config, incremental)
+        calibrator = BitFlipCalibrator(
+            network, epochs=config["edge_epochs"], confidence_threshold=0.4,
+            max_flip_fraction=0.1, normalizer=normalizer,
+            batchnorm_refresh_passes=1, fused=fused,
+        )
+        snapshot = qmodel.snapshot_codes()
+        calibrator.calibrate(qmodel, pool)  # warm up caches outside the timer
+        qmodel.restore_codes(snapshot)
+        timings = []
+        for _ in range(config["edge_repeats"]):
+            start = time.perf_counter()
+            calibrator.calibrate(qmodel, pool)
+            timings.append(time.perf_counter() - start)
+            qmodel.restore_codes(snapshot)
+        # Median per-repeat time resists scheduler noise on shared machines.
+        return config["edge_epochs"] / float(np.median(timings))
+
+
+def _measure_qat(config: dict, dtype) -> float:
+    """Server-side QAT calibration seconds per epoch for one compute dtype."""
+    with runtime.use_dtype(dtype):
+        qmodel, _, _, _, source = _build_setup(config, incremental=True)
+        timings = []
+        for repeat in range(config["qat_repeats"]):
+            start = time.perf_counter()
+            calibrate_with_backprop(
+                qmodel, source.features, source.labels,
+                epochs=config["qat_epochs"], lr=0.01, batch_size=32,
+                rng=np.random.default_rng(repeat),
+            )
+            timings.append(time.perf_counter() - start)
+        return float(np.median(timings)) / config["qat_epochs"]
+
+
+def _check_equivalence(config: dict) -> dict:
+    """At float64: fused+incremental must equal per-tensor+full-sync exactly."""
+    with runtime.use_dtype(np.float64):
+        qmodel, network, normalizer, pool, _ = _build_setup(config, incremental=True)
+        legacy = copy.deepcopy(qmodel)
+        legacy.incremental = False
+
+        def run(qm, fused):
+            # validate=False so proposed flips are applied unconditionally and
+            # the comparison covers codes that actually moved.
+            calibrator = BitFlipCalibrator(
+                network, epochs=max(2, config["edge_epochs"]), confidence_threshold=0.4,
+                max_flip_fraction=0.1, normalizer=normalizer, validate=False,
+                batchnorm_refresh_passes=1, fused=fused,
+            )
+            stats = calibrator.calibrate(qm, pool)
+            return stats, qm.snapshot_codes(), qm.model.state_dict()
+
+        stats_fast, codes_fast, state_fast = run(qmodel, fused=True)
+        stats_legacy, codes_legacy, state_legacy = run(legacy, fused=False)
+        codes_identical = all(
+            np.array_equal(codes_fast[name], codes_legacy[name]) for name in codes_fast
+        )
+        weights_identical = all(
+            np.array_equal(state_fast[name], state_legacy[name]) for name in state_fast
+        )
+        return {
+            "flip_decisions_identical": bool(
+                codes_identical
+                and stats_fast.flips_per_epoch == stats_legacy.flips_per_epoch
+            ),
+            "model_weights_identical": bool(weights_identical),
+            "flips_per_epoch": stats_fast.flips_per_epoch,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    config = dict(SMOKE_CONFIG if args.smoke else FULL_CONFIG)
+
+    print("measuring edge calibration (baseline: float64, per-tensor BF, full sync)...")
+    edge_baseline = _measure_edge(config, np.float64, fused=False, incremental=False)
+    print(f"  baseline: {edge_baseline:.2f} steps/s")
+    print("measuring edge calibration (fast: float32, fused BF, incremental sync)...")
+    edge_fast = _measure_edge(config, np.float32, fused=True, incremental=True)
+    print(f"  fast:     {edge_fast:.2f} steps/s")
+
+    print("measuring QAT calibration epochs...")
+    qat_baseline = _measure_qat(config, np.float64)
+    qat_fast = _measure_qat(config, np.float32)
+    print(f"  baseline: {qat_baseline * 1e3:.1f} ms/epoch   fast: {qat_fast * 1e3:.1f} ms/epoch")
+
+    print("verifying fused + incremental path is exact at float64...")
+    equivalence = _check_equivalence(config)
+    print(f"  {equivalence}")
+
+    report = {
+        "mode": "smoke" if args.smoke else "full",
+        "config": config,
+        "edge_calibration": {
+            "baseline_steps_per_sec": round(edge_baseline, 3),
+            "fast_steps_per_sec": round(edge_fast, 3),
+            "speedup": round(edge_fast / edge_baseline, 3),
+        },
+        "qat": {
+            "baseline_epoch_seconds": round(qat_baseline, 4),
+            "fast_epoch_seconds": round(qat_fast, 4),
+            "speedup": round(qat_baseline / qat_fast, 3),
+        },
+        "equivalence": equivalence,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nedge speedup: {report['edge_calibration']['speedup']}x, "
+          f"qat speedup: {report['qat']['speedup']}x")
+    print(f"[saved to {args.out}]")
+
+    if not equivalence["flip_decisions_identical"]:
+        print("ERROR: fused path diverged from per-tensor path at float64", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

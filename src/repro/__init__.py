@@ -3,6 +3,9 @@ Quantized Models" (VLDB 2024).
 
 The package is organised as follows:
 
+``repro.runtime``
+    Process-global compute-dtype configuration (float32 by default, float64
+    opt-in) threaded through every dense computation.
 ``repro.nn``
     Numpy neural-network substrate (layers, losses, optimisers).
 ``repro.quantization``

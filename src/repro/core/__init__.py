@@ -28,7 +28,9 @@ from repro.core.bitflip import (
     BitFlipNetwork,
     BitFlipTrainer,
     BitFlipCalibrator,
+    FusedParameterFeatures,
     extract_parameter_features,
+    extract_parameter_features_fused,
 )
 from repro.core.update import QCoreUpdater
 from repro.core.pipeline import QCoreFramework, EdgeDeployment, StreamRunResult
@@ -46,6 +48,8 @@ __all__ = [
     "BitFlipTrainer",
     "BitFlipCalibrator",
     "extract_parameter_features",
+    "extract_parameter_features_fused",
+    "FusedParameterFeatures",
     "QCoreUpdater",
     "QCoreFramework",
     "EdgeDeployment",

@@ -13,12 +13,13 @@ gradient computation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro import nn
+from repro import nn, runtime
 from repro.core.coreset import QCoreSet
 from repro.data.dataset import Dataset
 from repro.nn.module import Module
@@ -60,7 +61,7 @@ def _layer_activation_summaries(layer: Module) -> Tuple[np.ndarray, np.ndarray]:
         a_out = last_output.mean(axis=reduce_axes)
     else:
         raise TypeError(f"unsupported weighted layer type {type(layer).__name__}")
-    return np.asarray(a_in, dtype=np.float64), np.asarray(a_out, dtype=np.float64)
+    return runtime.asarray(a_in), runtime.asarray(a_out)
 
 
 def _features_for_weight(
@@ -122,24 +123,88 @@ class FeatureNormalizer:
     def __init__(self):
         self._stats: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
 
+    @staticmethod
+    def _moments(features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Column-wise ``(mean, std)`` with near-constant columns pinned to unit std."""
+        mean = features.mean(axis=0, keepdims=True)
+        std = features.std(axis=0, keepdims=True)
+        return mean, np.where(std < 1e-8, 1.0, std)
+
     def fit_update(self, name: str, features: np.ndarray) -> None:
         """Record (or keep) the normalisation statistics for a parameter tensor."""
         if name in self._stats:
             return
-        mean = features.mean(axis=0, keepdims=True)
-        std = features.std(axis=0, keepdims=True)
-        std = np.where(std < 1e-8, 1.0, std)
-        self._stats[name] = (mean, std)
+        self._stats[name] = self._moments(features)
 
     def transform(self, name: str, features: np.ndarray) -> np.ndarray:
-        """Standardise ``features`` with the stored statistics (identity if unknown)."""
-        if name not in self._stats:
-            mean = features.mean(axis=0, keepdims=True)
-            std = features.std(axis=0, keepdims=True)
-            std = np.where(std < 1e-8, 1.0, std)
-            return (features - mean) / std
-        mean, std = self._stats[name]
+        """Standardise ``features`` with the stored statistics.
+
+        Falls back to on-the-fly moments for unknown parameters — the very
+        hazard the class docstring warns about — and emits a
+        :class:`RuntimeWarning` when it does, so unfitted edge deployments
+        (no normalizer, or mismatched parameter names) surface instead of
+        silently washing out the domain shift.
+        """
+        stats = self._stats.get(name)
+        if stats is None:
+            warnings.warn(
+                "FeatureNormalizer has no fitted statistics for a parameter; "
+                "re-normalizing features on the fly, which washes out the "
+                "domain shift the bit-flip network was trained to detect. "
+                "Fit the normalizer at BF-training time and ship it with the "
+                "network (parameter names must match the trained model).",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            stats = self._moments(features)
+        mean, std = stats
         return (features - mean) / std
+
+
+def _iter_raw_parameter_features(
+    qmodel: QuantizedModel, features_batch: np.ndarray
+) -> Iterator[Tuple[str, np.ndarray]]:
+    """Yield ``(name, raw_features)`` per quantized parameter after one forward pass."""
+    qmodel.sync()
+    qmodel.model.eval()
+    qmodel.model.forward(features_batch)
+    param_to_name = {
+        id(param): name for name, param in qmodel.model.named_parameters()
+    }
+    for layer in qmodel.model.weighted_layers():
+        a_in, a_out = _layer_activation_summaries(layer)
+        a_in_mean = float(a_in.mean()) if a_in.size else 0.0
+        for attr in ("weight", "bias", "beta"):
+            param = getattr(layer, attr, None)
+            if param is None:
+                continue
+            name = param_to_name.get(id(param))
+            if name is None or name not in qmodel.qtensors:
+                continue
+            if param.data.ndim == 2:
+                features = _features_for_weight(param.data, a_in, a_out)
+            else:
+                features = _features_for_vector(param.data, a_in_mean, a_out)
+            yield name, features
+
+
+def _normalized_feature_blocks(
+    qmodel: QuantizedModel,
+    features_batch: np.ndarray,
+    normalizer: Optional[FeatureNormalizer],
+    fit_normalizer: bool,
+) -> List[Tuple[str, np.ndarray]]:
+    """Shared feature pipeline behind the per-tensor and fused extractors."""
+    if normalizer is None:
+        # One hoisted (unfitted) normalizer for the whole extraction; its
+        # transform fallback warns about the on-the-fly re-normalization.
+        normalizer = FeatureNormalizer()
+    blocks: List[Tuple[str, np.ndarray]] = []
+    for name, features in _iter_raw_parameter_features(qmodel, features_batch):
+        if fit_normalizer:
+            normalizer.fit_update(name, features)
+        blocks.append((name, normalizer.transform(name, features)))
+    return blocks
 
 
 def extract_parameter_features(
@@ -157,41 +222,62 @@ def extract_parameter_features(
 
     ``normalizer`` carries the standardisation statistics fitted during BF
     training; when ``fit_normalizer`` is true, unseen parameters have their
-    statistics recorded.
+    statistics recorded.  Calling without a normalizer re-standardises on the
+    fly and emits a :class:`RuntimeWarning` (edge deployments should apply the
+    statistics fitted at BF-training time).
 
     Returns a mapping ``parameter_name -> (num_parameters, NUM_FEATURES)``
     whose row order matches ``codes.reshape(-1)`` of the corresponding
     :class:`~repro.quantization.quantizer.QuantizedTensor`.
     """
-    qmodel.sync()
-    qmodel.model.eval()
-    qmodel.model.forward(features_batch)
-    param_to_name = {
-        id(param): name for name, param in qmodel.model.named_parameters()
-    }
-    feature_map: Dict[str, np.ndarray] = {}
-    for layer in qmodel.model.weighted_layers():
-        a_in, a_out = _layer_activation_summaries(layer)
-        a_in_mean = float(a_in.mean()) if a_in.size else 0.0
-        for attr in ("weight", "bias", "beta"):
-            param = getattr(layer, attr, None)
-            if param is None:
-                continue
-            name = param_to_name.get(id(param))
-            if name is None or name not in qmodel.qtensors:
-                continue
-            if param.data.ndim == 2:
-                features = _features_for_weight(param.data, a_in, a_out)
-            else:
-                features = _features_for_vector(param.data, a_in_mean, a_out)
-            if normalizer is not None:
-                if fit_normalizer:
-                    normalizer.fit_update(name, features)
-                features = normalizer.transform(name, features)
-            else:
-                features = FeatureNormalizer().transform(name, features)
-            feature_map[name] = features
-    return feature_map
+    return dict(
+        _normalized_feature_blocks(qmodel, features_batch, normalizer, fit_normalizer)
+    )
+
+
+@dataclass
+class FusedParameterFeatures:
+    """All per-parameter feature blocks concatenated into one matrix.
+
+    ``matrix`` has shape ``(total_params, NUM_FEATURES)``; block ``i`` covers
+    rows ``offsets[i]:offsets[i + 1]`` and belongs to parameter ``names[i]``.
+    The fused layout lets the edge calibrator run a *single* BF forward pass
+    per calibration iteration instead of one per parameter tensor.
+    """
+
+    names: List[str]
+    offsets: np.ndarray
+    matrix: np.ndarray
+
+    def blocks(self, values: np.ndarray) -> Iterator[Tuple[str, np.ndarray]]:
+        """Split a ``(total_params, ...)`` array back into per-parameter views."""
+        for index, name in enumerate(self.names):
+            yield name, values[self.offsets[index] : self.offsets[index + 1]]
+
+
+def extract_parameter_features_fused(
+    qmodel: QuantizedModel,
+    features_batch: np.ndarray,
+    normalizer: Optional[FeatureNormalizer] = None,
+    fit_normalizer: bool = False,
+) -> FusedParameterFeatures:
+    """Fused variant of :func:`extract_parameter_features`.
+
+    Produces the same normalised features, concatenated in extraction order,
+    so one BF inference covers every parameter of the model.  Row order within
+    each block matches the per-tensor extractor exactly.
+    """
+    blocks = _normalized_feature_blocks(qmodel, features_batch, normalizer, fit_normalizer)
+    if not blocks:
+        return FusedParameterFeatures(
+            names=[], offsets=np.zeros(1, dtype=np.int64),
+            matrix=np.zeros((0, NUM_FEATURES), dtype=runtime.get_dtype()),
+        )
+    names = [name for name, _ in blocks]
+    sizes = [features.shape[0] for _, features in blocks]
+    offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    matrix = np.concatenate([features for _, features in blocks], axis=0)
+    return FusedParameterFeatures(names=names, offsets=offsets, matrix=matrix)
 
 
 class BitFlipNetwork(Module):
@@ -226,7 +312,7 @@ class BitFlipNetwork(Module):
 
     def forward(self, features: np.ndarray) -> np.ndarray:
         """Logits of shape ``(num_parameters, 3)`` for per-parameter features."""
-        features = np.asarray(features, dtype=np.float64)
+        features = runtime.asarray(features)
         if features.ndim != 2 or features.shape[1] != self.num_features:
             raise ValueError(
                 f"expected features of shape (N, {self.num_features}), got {features.shape}"
@@ -497,6 +583,13 @@ class BitFlipCalibrator:
         refresh the BatchNorm running statistics before flipping starts (0 to
         disable).  This is inference-only (no gradients) and corresponds to the
         statistics refresh any calibration pass performs implicitly.
+    fused:
+        When true (the default), each calibration iteration runs one BF
+        inference over the concatenated features of *all* parameter tensors
+        instead of one inference per tensor.  The BF network operates row-wise,
+        so the flip decisions are identical; only the per-tensor call overhead
+        disappears.  ``fused=False`` keeps the original per-tensor path (used
+        as the benchmark baseline and for equivalence tests).
     """
 
     def __init__(
@@ -508,6 +601,7 @@ class BitFlipCalibrator:
         validate: bool = True,
         normalizer: Optional[FeatureNormalizer] = None,
         batchnorm_refresh_passes: int = 5,
+        fused: bool = True,
     ):
         if epochs <= 0:
             raise ValueError("epochs must be positive")
@@ -524,6 +618,7 @@ class BitFlipCalibrator:
         self.validate = validate
         self.normalizer = normalizer
         self.batchnorm_refresh_passes = batchnorm_refresh_passes
+        self.fused = fused
 
     def _refresh_batchnorm_statistics(self, qmodel: QuantizedModel, data: Dataset) -> None:
         """Update BatchNorm running statistics with training-mode forward passes."""
@@ -533,21 +628,41 @@ class BitFlipCalibrator:
             qmodel.model.forward(data.features)
         qmodel.model.eval()
 
+    def _predict_per_name(
+        self, qmodel: QuantizedModel, data: Dataset
+    ) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Per-parameter ``(flips, confidence)`` from one or many BF inferences."""
+        if self.fused:
+            fused = extract_parameter_features_fused(
+                qmodel, data.features, normalizer=self.normalizer
+            )
+            flips, confidence = self.network.predict_flips_with_confidence(
+                fused.matrix, confidence_threshold=self.confidence_threshold
+            )
+            return {
+                name: (flip_block, conf_block)
+                for (name, flip_block), (_, conf_block) in zip(
+                    fused.blocks(flips), fused.blocks(confidence)
+                )
+            }
+        feature_map = extract_parameter_features(
+            qmodel, data.features, normalizer=self.normalizer
+        )
+        return {
+            name: self.network.predict_flips_with_confidence(
+                feats, confidence_threshold=self.confidence_threshold
+            )
+            for name, feats in feature_map.items()
+        }
+
     def _propose_flips(
         self, qmodel: QuantizedModel, data: Dataset
     ) -> Tuple[Dict[str, np.ndarray], int]:
         """One BF inference pass: the most confident flips, capped per iteration."""
-        feature_map = extract_parameter_features(
-            qmodel, data.features, normalizer=self.normalizer
-        )
-        per_name: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        per_name = self._predict_per_name(qmodel, data)
         all_confidences = []
         total_parameters = 0
-        for name, feats in feature_map.items():
-            flips, confidence = self.network.predict_flips_with_confidence(
-                feats, confidence_threshold=self.confidence_threshold
-            )
-            per_name[name] = (flips, confidence)
+        for name, (flips, confidence) in per_name.items():
             total_parameters += flips.shape[0]
             all_confidences.append(np.where(flips != 0, confidence, -np.inf))
         budget = max(1, int(self.max_flip_fraction * total_parameters))

@@ -7,6 +7,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import runtime
+
 from repro.data.dataset import Dataset
 
 
@@ -43,7 +45,7 @@ class QCoreSet:
     name: str = "qcore"
 
     def __post_init__(self):
-        self.features = np.asarray(self.features, dtype=np.float64)
+        self.features = runtime.asarray(self.features)
         self.labels = np.asarray(self.labels, dtype=np.int64)
         self.miss_counts = np.asarray(self.miss_counts, dtype=np.int64)
         if not (

@@ -66,6 +66,8 @@ class NormalDistributionSampler(CoresetStrategy):
             raise ValueError(
                 "NormalDistributionSampler requires per-example quantization misses"
             )
+        # Probability math stays float64 regardless of the compute dtype so
+        # the normalised vector sums to 1 within float64 tolerance.
         misses = np.asarray(misses, dtype=np.float64)
         if misses.shape[0] != len(dataset):
             raise ValueError("misses must have one entry per dataset example")

@@ -7,6 +7,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import runtime
+
 
 @dataclass
 class Dataset:
@@ -31,7 +33,7 @@ class Dataset:
     name: str = "dataset"
 
     def __post_init__(self):
-        self.features = np.asarray(self.features, dtype=np.float64)
+        self.features = runtime.asarray(self.features)
         self.labels = np.asarray(self.labels, dtype=np.int64)
         if self.features.shape[0] != self.labels.shape[0]:
             raise ValueError(
@@ -94,6 +96,8 @@ class Dataset:
         Stratification keeps every class represented in every part, which the
         paper's small validation/test partitions rely on.
         """
+        # Validation-only input: stays float64 regardless of the compute dtype
+        # so the tight sum-to-1 tolerance doesn't reject valid fractions.
         fractions = np.asarray(fractions, dtype=np.float64)
         if np.any(fractions <= 0) or abs(fractions.sum() - 1.0) > 1e-9:
             raise ValueError("fractions must be positive and sum to 1")

@@ -1,4 +1,9 @@
-"""Continual-learning metrics."""
+"""Continual-learning metrics.
+
+Reported metrics stay float64 regardless of the runtime compute dtype: these
+are tiny O(n) reductions with no hot-path cost, and regenerated paper tables
+should not inherit float32 rounding noise.
+"""
 
 from __future__ import annotations
 

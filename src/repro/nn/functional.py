@@ -1,13 +1,28 @@
-"""Stateless numerical helpers shared across layers, losses and algorithms."""
+"""Stateless numerical helpers shared across layers, losses and algorithms.
+
+The im2col/col2im family is the hot path of every convolutional forward and
+backward pass.  Two optimisations keep it fast:
+
+* the gather/scatter index arrays depend only on the convolution geometry
+  ``(output size, kernel, stride)``, so they are computed once per geometry
+  and memoised (:func:`_patch_indices_1d` and friends);
+* the scatter-add of ``col2im`` uses :func:`numpy.bincount` over flattened
+  positions instead of ``np.add.at`` — the buffered fancy-indexing path of
+  ``add.at`` is an order of magnitude slower than bincount's tight C loop.
+"""
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
+
+from repro import runtime
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = runtime.asarray(logits)
     shifted = logits - np.max(logits, axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / np.sum(exp, axis=axis, keepdims=True)
@@ -15,7 +30,7 @@ def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable log-softmax along ``axis``."""
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = runtime.asarray(logits)
     shifted = logits - np.max(logits, axis=axis, keepdims=True)
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
@@ -30,7 +45,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded = runtime.zeros((labels.shape[0], num_classes))
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
@@ -48,6 +63,76 @@ def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
         return 0.0
     predictions = np.argmax(logits, axis=1)
     return float(np.mean(predictions == labels))
+
+
+# --------------------------------------------------------------------------
+# Cached convolution geometry.  The index arrays are tiny compared to the
+# activations but rebuilding them on every forward/backward call shows up in
+# edge-calibration profiles; lru_cache keyed on the geometry removes that.
+# Cached arrays are marked read-only so a caller cannot corrupt the cache.
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=512)
+def _patch_indices_1d(out_len: int, kernel_size: int, stride: int) -> np.ndarray:
+    """Window-gather indices of shape ``(L_out, K)`` into the padded length axis."""
+    starts = np.arange(out_len) * stride
+    idx = starts[:, None] + np.arange(kernel_size)[None, :]
+    idx.setflags(write=False)
+    return idx
+
+
+@lru_cache(maxsize=512)
+def _patch_indices_2d(out_h: int, out_w: int, kernel_size: int, stride: int):
+    """Row/column gather indices ``(H_out, K)`` and ``(W_out, K)`` for 2-D windows."""
+    row_idx = np.arange(out_h)[:, None] * stride + np.arange(kernel_size)[None, :]
+    col_idx = np.arange(out_w)[:, None] * stride + np.arange(kernel_size)[None, :]
+    row_idx.setflags(write=False)
+    col_idx.setflags(write=False)
+    return row_idx, col_idx
+
+
+@lru_cache(maxsize=512)
+def _scatter_positions_1d(out_len: int, kernel_size: int, stride: int) -> np.ndarray:
+    """Flat scatter targets (length ``L_out * K``) within one padded row."""
+    positions = np.ascontiguousarray(
+        _patch_indices_1d(out_len, kernel_size, stride)
+    ).reshape(-1)
+    positions.setflags(write=False)
+    return positions
+
+
+@lru_cache(maxsize=512)
+def _scatter_positions_2d(
+    out_h: int, out_w: int, kernel_size: int, stride: int, padded_w: int
+) -> np.ndarray:
+    """Flat scatter targets within one padded ``(H, W)`` plane.
+
+    Position order matches ``cols`` laid out as ``(H_out, K, W_out, K)``.
+    """
+    row_idx, col_idx = _patch_indices_2d(out_h, out_w, kernel_size, stride)
+    positions = row_idx[:, :, None, None] * padded_w + col_idx[None, None, :, :]
+    positions = np.ascontiguousarray(positions).reshape(-1)
+    positions.setflags(write=False)
+    return positions
+
+
+def _scatter_add_rows(
+    values: np.ndarray, positions: np.ndarray, row_length: int
+) -> np.ndarray:
+    """Scatter-add ``values`` of shape ``(rows, len(positions))`` into ``(rows, row_length)``.
+
+    Every row uses the same ``positions``; overlaps sum.  Implemented with one
+    :func:`numpy.bincount` over row-offset flattened positions, which is far
+    faster than ``np.add.at`` for the overlapping windows of a convolution.
+    """
+    rows = values.shape[0]
+    offsets = np.arange(rows, dtype=np.intp)[:, None] * row_length
+    flat_positions = (offsets + positions[None, :]).reshape(-1)
+    accumulated = np.bincount(
+        flat_positions, weights=values.reshape(-1), minlength=rows * row_length
+    )
+    return accumulated.reshape(rows, row_length).astype(runtime.get_dtype(), copy=False)
 
 
 def im2col_1d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
@@ -75,9 +160,7 @@ def im2col_1d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.
             f"convolution output length is non-positive: input length {length}, "
             f"kernel {kernel_size}, stride {stride}, padding {padding}"
         )
-    # Gather indices once; advanced indexing produces the patch tensor directly.
-    starts = np.arange(out_len) * stride
-    idx = starts[:, None] + np.arange(kernel_size)[None, :]
+    idx = _patch_indices_1d(out_len, kernel_size, stride)
     patches = x[:, :, idx]                       # (N, C, L_out, K)
     patches = patches.transpose(0, 2, 1, 3)      # (N, L_out, C, K)
     return patches.reshape(n, out_len, c * kernel_size)
@@ -98,11 +181,11 @@ def col2im_1d(
     n, c, length = input_shape
     padded_len = length + 2 * padding
     out_len = (padded_len - kernel_size) // stride + 1
-    grad_padded = np.zeros((n, c, padded_len), dtype=np.float64)
     cols = cols.reshape(n, out_len, c, kernel_size).transpose(0, 2, 1, 3)  # (N, C, L_out, K)
-    starts = np.arange(out_len) * stride
-    idx = starts[:, None] + np.arange(kernel_size)[None, :]               # (L_out, K)
-    np.add.at(grad_padded, (slice(None), slice(None), idx), cols)
+    positions = _scatter_positions_1d(out_len, kernel_size, stride)
+    grad_padded = _scatter_add_rows(
+        cols.reshape(n * c, out_len * kernel_size), positions, padded_len
+    ).reshape(n, c, padded_len)
     if padding > 0:
         return grad_padded[:, :, padding:-padding]
     return grad_padded
@@ -132,10 +215,7 @@ def im2col_2d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.
             f"convolution output is non-positive: input {h}x{w}, kernel "
             f"{kernel_size}, stride {stride}, padding {padding}"
         )
-    row_starts = np.arange(out_h) * stride
-    col_starts = np.arange(out_w) * stride
-    row_idx = row_starts[:, None] + np.arange(kernel_size)[None, :]   # (H_out, K)
-    col_idx = col_starts[:, None] + np.arange(kernel_size)[None, :]   # (W_out, K)
+    row_idx, col_idx = _patch_indices_2d(out_h, out_w, kernel_size, stride)
     # (N, C, H_out, K, W_out, K)
     patches = x[:, :, row_idx[:, :, None, None], col_idx[None, None, :, :]]
     patches = patches.transpose(0, 2, 4, 1, 3, 5)  # (N, H_out, W_out, C, K, K)
@@ -154,23 +234,12 @@ def col2im_2d(
     ph, pw = h + 2 * padding, w + 2 * padding
     out_h = (ph - kernel_size) // stride + 1
     out_w = (pw - kernel_size) // stride + 1
-    grad_padded = np.zeros((n, c, ph, pw), dtype=np.float64)
     cols = cols.reshape(n, out_h, out_w, c, kernel_size, kernel_size)
     cols = cols.transpose(0, 3, 1, 4, 2, 5)  # (N, C, H_out, K, W_out, K)
-    row_starts = np.arange(out_h) * stride
-    col_starts = np.arange(out_w) * stride
-    row_idx = row_starts[:, None] + np.arange(kernel_size)[None, :]
-    col_idx = col_starts[:, None] + np.arange(kernel_size)[None, :]
-    np.add.at(
-        grad_padded,
-        (
-            slice(None),
-            slice(None),
-            row_idx[:, :, None, None],
-            col_idx[None, None, :, :],
-        ),
-        cols,
-    )
+    positions = _scatter_positions_2d(out_h, out_w, kernel_size, stride, pw)
+    grad_padded = _scatter_add_rows(
+        cols.reshape(n * c, -1), positions, ph * pw
+    ).reshape(n, c, ph, pw)
     if padding > 0:
         return grad_padded[:, :, padding:-padding, padding:-padding]
     return grad_padded

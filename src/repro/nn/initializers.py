@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import runtime
+
 
 def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray:
     """He (Kaiming) normal initialisation, suited to ReLU networks.
@@ -25,7 +27,7 @@ def he_normal(shape: tuple, fan_in: int, rng: np.random.Generator) -> np.ndarray
     if fan_in <= 0:
         raise ValueError(f"fan_in must be positive, got {fan_in}")
     std = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(runtime.get_dtype())
 
 
 def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
@@ -33,14 +35,14 @@ def xavier_uniform(shape: tuple, fan_in: int, fan_out: int, rng: np.random.Gener
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError("fan_in and fan_out must be positive")
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(runtime.get_dtype())
 
 
 def zeros(shape: tuple) -> np.ndarray:
     """All-zero initialisation (used for biases and BatchNorm shifts)."""
-    return np.zeros(shape, dtype=np.float64)
+    return runtime.zeros(shape)
 
 
 def ones(shape: tuple) -> np.ndarray:
     """All-one initialisation (used for BatchNorm scales)."""
-    return np.ones(shape, dtype=np.float64)
+    return runtime.ones(shape)

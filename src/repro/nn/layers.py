@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import runtime
 from repro.nn import functional as F
 from repro.nn import initializers
 from repro.nn.module import Module
@@ -77,7 +78,7 @@ class Dense(Module):
         self.last_output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = runtime.asarray(x)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Dense expected input of shape (N, {self.in_features}), got {x.shape}"
@@ -92,7 +93,7 @@ class Dense(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self.last_input is None:
             raise RuntimeError("backward called before forward on Dense")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = runtime.asarray(grad_output)
         self.weight.accumulate_grad(self.last_input.T @ grad_output)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_output.sum(axis=0))
@@ -144,7 +145,7 @@ class Conv1d(Module):
         self._input_shape: Optional[tuple] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = runtime.asarray(x)
         if x.ndim != 3 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv1d expected input of shape (N, {self.in_channels}, L), got {x.shape}"
@@ -163,7 +164,7 @@ class Conv1d(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cols is None or self._input_shape is None:
             raise RuntimeError("backward called before forward on Conv1d")
-        grad_output = np.asarray(grad_output, dtype=np.float64).transpose(0, 2, 1)  # (N, L_out, C_out)
+        grad_output = runtime.asarray(grad_output).transpose(0, 2, 1)  # (N, L_out, C_out)
         n = grad_output.shape[0]
         cols_flat = self._cols.reshape(-1, self._cols.shape[-1])
         grad_flat = grad_output.reshape(-1, self.out_channels)
@@ -218,7 +219,7 @@ class Conv2d(Module):
         self._out_hw: Optional[tuple] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = runtime.asarray(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2d expected input of shape (N, {self.in_channels}, H, W), got {x.shape}"
@@ -243,7 +244,7 @@ class Conv2d(Module):
             raise RuntimeError("backward called before forward on Conv2d")
         n = grad_output.shape[0]
         out_h, out_w = self._out_hw
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = runtime.asarray(grad_output)
         grad_mat = grad_output.reshape(n, self.out_channels, out_h * out_w).transpose(0, 2, 1)
         cols_flat = self._cols.reshape(-1, self._cols.shape[-1])
         grad_flat = grad_mat.reshape(-1, self.out_channels)
@@ -279,8 +280,8 @@ class BatchNorm(Module):
         self.beta = self.register_parameter(
             Parameter(initializers.zeros((num_features,)), name=f"{name}.beta")
         )
-        self.running_mean = np.zeros(num_features, dtype=np.float64)
-        self.running_var = np.ones(num_features, dtype=np.float64)
+        self.running_mean = runtime.zeros(num_features)
+        self.running_var = runtime.ones(num_features)
         # BatchNorm scale/shift are treated as weights for quantization purposes.
         self.weight = self.gamma
         self._cache: Optional[tuple] = None
@@ -294,7 +295,7 @@ class BatchNorm(Module):
         return (1, self.num_features) + (1,) * (x.ndim - 2)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = runtime.asarray(x)
         if x.ndim < 2 or x.shape[1] != self.num_features:
             raise ValueError(
                 f"BatchNorm expected channel axis of size {self.num_features}, got shape {x.shape}"
@@ -321,7 +322,7 @@ class BatchNorm(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward on BatchNorm")
         normalized, inv_std, axes, shape = self._cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = runtime.asarray(grad_output)
         count = grad_output.size / self.num_features
         self.gamma.accumulate_grad((grad_output * normalized).sum(axis=axes))
         self.beta.accumulate_grad(grad_output.sum(axis=axes))
@@ -395,7 +396,7 @@ class Sigmoid(Module):
         self._output: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._output = 1.0 / (1.0 + np.exp(-np.asarray(x, dtype=np.float64)))
+        self._output = 1.0 / (1.0 + np.exp(-runtime.asarray(x)))
         return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -420,7 +421,7 @@ class Dropout(Module):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = (self._rng.random(x.shape) < keep).astype(runtime.get_dtype()) / keep
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -516,12 +517,12 @@ class MaxPool1d(Module):
             raise RuntimeError("backward called before forward on MaxPool1d")
         input_shape, out_len, argmax = self._cache
         n, c, _ = input_shape
-        windows = np.zeros((n, c, out_len, self.pool_size), dtype=np.float64)
+        windows = np.zeros((n, c, out_len, self.pool_size), dtype=grad_output.dtype)
         n_idx, c_idx, l_idx = np.meshgrid(
             np.arange(n), np.arange(c), np.arange(out_len), indexing="ij"
         )
         windows[n_idx, c_idx, l_idx, argmax] = grad_output
-        grad_input = np.zeros(input_shape, dtype=np.float64)
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
         grad_input[:, :, : out_len * self.pool_size] = windows.reshape(n, c, -1)
         return grad_input
 
@@ -557,12 +558,12 @@ class MaxPool2d(Module):
         input_shape, out_h, out_w, argmax = self._cache
         n, c, h, w = input_shape
         p = self.pool_size
-        flat = np.zeros((n, c, out_h, out_w, p * p), dtype=np.float64)
+        flat = np.zeros((n, c, out_h, out_w, p * p), dtype=grad_output.dtype)
         n_idx, c_idx, h_idx, w_idx = np.meshgrid(
             np.arange(n), np.arange(c), np.arange(out_h), np.arange(out_w), indexing="ij"
         )
         flat[n_idx, c_idx, h_idx, w_idx, argmax] = grad_output
         windows = flat.reshape(n, c, out_h, out_w, p, p).transpose(0, 1, 2, 4, 3, 5)
-        grad_input = np.zeros(input_shape, dtype=np.float64)
+        grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
         grad_input[:, :, : out_h * p, : out_w * p] = windows.reshape(n, c, out_h * p, out_w * p)
         return grad_input

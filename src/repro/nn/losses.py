@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import runtime
 from repro.nn import functional as F
 
 
@@ -39,7 +40,7 @@ class CrossEntropyLoss(Loss):
         targets: np.ndarray,
         sample_weights: np.ndarray | None = None,
     ) -> float:
-        predictions = np.asarray(predictions, dtype=np.float64)
+        predictions = runtime.asarray(predictions)
         targets = np.asarray(targets, dtype=np.int64)
         if predictions.ndim != 2:
             raise ValueError(f"expected logits of shape (N, K), got {predictions.shape}")
@@ -48,7 +49,7 @@ class CrossEntropyLoss(Loss):
         log_probs = F.log_softmax(predictions, axis=1)
         picked = log_probs[np.arange(targets.shape[0]), targets]
         if sample_weights is not None:
-            sample_weights = np.asarray(sample_weights, dtype=np.float64)
+            sample_weights = runtime.asarray(sample_weights)
             if sample_weights.shape != targets.shape:
                 raise ValueError("sample_weights must have one entry per example")
             loss = -float(np.sum(picked * sample_weights) / max(np.sum(sample_weights), 1e-12))
@@ -80,8 +81,8 @@ class MSELoss(Loss):
         self._diff: np.ndarray | None = None
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions = np.asarray(predictions, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        predictions = runtime.asarray(predictions)
+        targets = runtime.asarray(targets)
         if predictions.shape != targets.shape:
             raise ValueError(
                 f"predictions shape {predictions.shape} does not match targets {targets.shape}"

@@ -6,6 +6,7 @@ from typing import Iterable, Iterator, List, Tuple
 
 import numpy as np
 
+from repro import runtime
 from repro.nn.parameter import Parameter
 
 
@@ -109,7 +110,7 @@ class Module:
                 f"unexpected keys {sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=runtime.get_dtype())
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, "

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import runtime
+
 
 class Parameter:
     """A trainable tensor together with its accumulated gradient.
@@ -11,8 +13,8 @@ class Parameter:
     Parameters
     ----------
     data:
-        Initial value of the parameter.  Copied and stored as ``float64``
-        to keep gradient computations numerically stable on CPU.
+        Initial value of the parameter.  Copied and stored at the active
+        compute dtype (see :mod:`repro.runtime`; float32 by default).
     name:
         Optional human-readable name, used by quantization and the
         bit-flipping network to identify parameters across snapshots.
@@ -22,7 +24,7 @@ class Parameter:
     """
 
     def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True):
-        self.data = np.asarray(data, dtype=np.float64).copy()
+        self.data = np.array(data, dtype=runtime.get_dtype())
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.requires_grad = requires_grad
@@ -49,7 +51,7 @@ class Parameter:
         ValueError
             If ``grad`` does not have the same shape as the parameter.
         """
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match parameter "

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Set
 
 import numpy as np
 
@@ -33,31 +33,60 @@ class QuantizedModel:
     Edge-side continual calibration only touches ``qtensors`` through
     :meth:`apply_flips`, mirroring the paper's constraint that full-precision
     values and back-propagation are unavailable after deployment.
+
+    Synchronisation is *incremental* by default: every mutation of the integer
+    codes marks the affected tensors dirty, and :meth:`sync` re-dequantizes and
+    writes back only those.  Since edge calibration flips a handful of tensors
+    per iteration (and inference flips none), the repeated ``sync()`` calls in
+    the hot loop become near no-ops instead of full-model rewrites.  Pass
+    ``incremental=False`` to restore the original rewrite-everything behaviour
+    (used by the performance benchmark as the comparison baseline).
     """
 
-    def __init__(self, model: Module, config: QuantizationConfig):
+    def __init__(self, model: Module, config: QuantizationConfig, incremental: bool = True):
         self.model = model
         self.config = config
+        self.incremental = incremental
         self._quantizer = UniformQuantizer(config)
+        self._params = dict(model.named_parameters())
         self.latent: Dict[str, np.ndarray] = {
-            name: param.data.copy() for name, param in model.named_parameters()
+            name: param.data.copy() for name, param in self._params.items()
         }
         self.qtensors: Dict[str, QuantizedTensor] = {}
+        self._dirty: Set[str] = set()
+        self._latent_stale: Set[str] = set()
         self.refresh_codes()
         self.sync()
 
     # -- representation management ----------------------------------------
     def refresh_codes(self) -> None:
-        """Re-quantize the latent weights into integer codes."""
+        """Re-quantize the latent weights into integer codes (marks all dirty)."""
         self.qtensors = {
             name: self._quantizer.quantize(values, name=name)
             for name, values in self.latent.items()
         }
+        self._dirty = set(self.qtensors)
+        # Quantization rounds, so every latent tensor may now carry residuals
+        # relative to its codes.
+        self._latent_stale = set(self.qtensors)
 
-    def sync(self) -> None:
-        """Write the dequantized weights into the wrapped model's parameters."""
-        dequantized = {name: qt.dequantize() for name, qt in self.qtensors.items()}
-        self.model.load_state_dict(dequantized)
+    def sync(self, force: bool = False) -> None:
+        """Write the dequantized weights into the wrapped model's parameters.
+
+        Incremental mode rewrites only tensors whose codes changed since the
+        last sync; ``force=True`` (or ``incremental=False``) rewrites every
+        tensor unconditionally.
+        """
+        if force or not self.incremental:
+            dequantized = {name: qt.dequantize() for name, qt in self.qtensors.items()}
+            self.model.load_state_dict(dequantized)
+            self._dirty.clear()
+            return
+        if not self._dirty:
+            return
+        for name in self._dirty:
+            self._params[name].data = self.qtensors[name].dequantize()
+        self._dirty.clear()
 
     def snapshot_codes(self) -> Dict[str, np.ndarray]:
         """Return a copy of every parameter's integer codes (for diffing)."""
@@ -67,7 +96,9 @@ class QuantizedModel:
         """Restore integer codes from a :meth:`snapshot_codes` snapshot.
 
         Used by the edge calibrator to roll back a calibration iteration that
-        degraded accuracy on the labelled calibration pool.
+        degraded accuracy on the labelled calibration pool.  In incremental
+        mode only tensors whose codes actually differ from the snapshot are
+        re-dequantized.
         """
         unknown = set(snapshot) - set(self.qtensors)
         if unknown:
@@ -80,24 +111,50 @@ class QuantizedModel:
                     f"snapshot shape {codes.shape} does not match codes shape "
                     f"{qt.codes.shape} for parameter {name!r}"
                 )
+            if self.incremental and np.array_equal(qt.codes, codes):
+                continue
             qt.codes = codes.copy()
-        self.latent = {name: qt.dequantize() for name, qt in self.qtensors.items()}
-        self.sync()
+            self._dirty.add(name)
+        self._sync_and_collapse_latent()
 
     def apply_flips(self, flips: Dict[str, np.ndarray]) -> None:
         """Apply per-parameter flips in ``{-1, 0, +1}`` to the integer codes.
 
         Unknown parameter names are rejected; parameters without an entry are
         left untouched.  After the update the latent view and the wrapped
-        model are re-synchronised so subsequent inference uses the new codes.
+        model are re-synchronised so subsequent inference uses the new codes —
+        incrementally, so tensors that received no flips are not rewritten.
         """
         unknown = set(flips) - set(self.qtensors)
         if unknown:
             raise KeyError(f"unknown parameters in flips: {sorted(unknown)}")
         for name, flip in flips.items():
             self.qtensors[name].apply_flips(flip)
-        self.latent = {name: qt.dequantize() for name, qt in self.qtensors.items()}
+            self._dirty.add(name)
+        self._sync_and_collapse_latent()
+
+    def _sync_and_collapse_latent(self) -> None:
+        """Sync the model, then collapse every latent tensor to its dequantized value.
+
+        Edge-side mutations (flips, rollbacks) discard sub-quantization-step
+        residuals in *all* tensors — the seed semantics both sync modes must
+        share.  In incremental mode only tensors whose latent could differ
+        from their dequantized codes are refreshed: the ones whose codes just
+        changed (``_dirty``) plus the ones still carrying quantization or QAT
+        residuals (``_latent_stale``).  Everything else was already collapsed
+        by a previous call, so the steady-state edge iteration touches only
+        the flipped tensors.  The refresh copies the just-synchronised model
+        weights, which is cheaper than a second dequantization.
+        """
+        if not self.incremental:
+            self.latent = {name: qt.dequantize() for name, qt in self.qtensors.items()}
+            self.sync()
+            return
+        refresh = self._dirty | self._latent_stale
         self.sync()
+        for name in refresh:
+            self.latent[name] = self._params[name].data.copy()
+        self._latent_stale.clear()
 
     def update_latent(self, updates: Dict[str, np.ndarray]) -> None:
         """Subtract ``updates`` from the latent weights (QAT / STE step) and requantize."""
@@ -105,7 +162,13 @@ class QuantizedModel:
             if name not in self.latent:
                 raise KeyError(f"unknown parameter {name!r}")
             self.latent[name] = self.latent[name] - delta
-        self.refresh_codes()
+        if self.incremental:
+            for name in updates:
+                self.qtensors[name] = self._quantizer.quantize(self.latent[name], name=name)
+                self._dirty.add(name)
+                self._latent_stale.add(name)
+        else:
+            self.refresh_codes()
         self.sync()
 
     # -- inference ----------------------------------------------------------
@@ -159,16 +222,26 @@ class QuantizedModel:
         clone = QuantizedModel.__new__(QuantizedModel)
         clone.model = copy.deepcopy(self.model)
         clone.config = self.config
+        clone.incremental = self.incremental
         clone._quantizer = UniformQuantizer(self.config)
+        clone._params = dict(clone.model.named_parameters())
         clone.latent = {name: values.copy() for name, values in self.latent.items()}
         clone.qtensors = {name: qt.copy() for name, qt in self.qtensors.items()}
+        # The deep-copied model already holds the synchronised weights, so the
+        # clone only inherits whatever was still pending on the original.
+        clone._dirty = set(self._dirty)
+        clone._latent_stale = set(self._latent_stale)
         clone.sync()
         return clone
 
 
-def quantize_model(model: Module, bits: int, symmetric: bool = True) -> QuantizedModel:
+def quantize_model(
+    model: Module, bits: int, symmetric: bool = True, incremental: bool = True
+) -> QuantizedModel:
     """Convenience constructor: quantize ``model`` at ``bits`` bits."""
-    return QuantizedModel(model, QuantizationConfig(bits=bits, symmetric=symmetric))
+    return QuantizedModel(
+        model, QuantizationConfig(bits=bits, symmetric=symmetric), incremental=incremental
+    )
 
 
 @contextmanager

@@ -13,6 +13,8 @@ from typing import List
 
 import numpy as np
 
+from repro import runtime
+
 
 @dataclass(frozen=True)
 class QuantizationConfig:
@@ -74,8 +76,8 @@ class QuantizedTensor:
     name: str = ""
 
     def dequantize(self) -> np.ndarray:
-        """Map the integer codes back to real values."""
-        return self.scale * (self.codes.astype(np.float64) - self.zero_point)
+        """Map the integer codes back to real values (at the active compute dtype)."""
+        return self.scale * (self.codes.astype(runtime.get_dtype()) - self.zero_point)
 
     def apply_flips(self, flips: np.ndarray) -> None:
         """Add integer ``flips`` (values in ``{-1, 0, +1}``) to the codes in place.
@@ -127,7 +129,7 @@ class UniformQuantizer:
         (or constant-zero-range) tensor quantizes to all-zero codes with a unit
         scale so that dequantization is still well defined.
         """
-        values = np.asarray(values, dtype=np.float64)
+        values = runtime.asarray(values)
         cfg = self.config
         if cfg.symmetric:
             max_abs = float(np.max(np.abs(values))) if values.size else 0.0
@@ -165,7 +167,7 @@ class UniformQuantizer:
 
     def quantization_error(self, values: np.ndarray) -> float:
         """Mean absolute error introduced by quantizing ``values``."""
-        values = np.asarray(values, dtype=np.float64)
+        values = runtime.asarray(values)
         if values.size == 0:
             return 0.0
         return float(np.mean(np.abs(values - self.fake_quantize(values))))

@@ -24,6 +24,8 @@ def ensure_fraction(value: float, name: str) -> float:
 
 def ensure_probability_vector(values: np.ndarray, name: str) -> np.ndarray:
     """Validate and renormalise a non-negative vector into a probability vector."""
+    # Stays float64 regardless of the compute dtype: validation-only input,
+    # and consumers rely on the normalised sum being 1 at float64 tolerance.
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 1:
         raise ValueError(f"{name} must be 1-D, got shape {values.shape}")

@@ -5,6 +5,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import runtime
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _float64_compute():
+    """Pin the suite to float64 so reference numerics (finite-difference
+    gradient checks, accuracy thresholds) match the paper-grade precision.
+
+    The repo-wide default is float32 (see :mod:`repro.runtime`); dtype-specific
+    tests opt into it explicitly with ``runtime.use_dtype``.
+    """
+    previous = runtime.set_dtype(np.float64)
+    yield
+    runtime.set_dtype(previous)
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

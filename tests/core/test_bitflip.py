@@ -11,8 +11,9 @@ from repro.core import (
     BitFlipNetwork,
     BitFlipTrainer,
     extract_parameter_features,
+    extract_parameter_features_fused,
 )
-from repro.core.bitflip import NUM_FEATURES
+from repro.core.bitflip import NUM_FEATURES, FeatureNormalizer
 from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
 from repro.models import InceptionTimeSurrogate
 from repro.nn.training import train_classifier
@@ -186,3 +187,125 @@ class TestBitFlipCalibrator:
             BitFlipCalibrator(BitFlipNetwork(rng=rng), epochs=0)
         with pytest.raises(ValueError):
             BitFlipCalibrator(BitFlipNetwork(rng=rng), epochs=1, confidence_threshold=1.5)
+
+
+class TestFeatureNormalizer:
+    def test_transform_uses_stored_statistics(self, rng):
+        normalizer = FeatureNormalizer()
+        fit_features = rng.normal(size=(50, NUM_FEATURES)) * 3.0 + 1.0
+        normalizer.fit_update("w", fit_features)
+        shifted = fit_features + 10.0
+        transformed = normalizer.transform("w", shifted)
+        # A fitted normalizer must expose the shift, not wash it out.
+        assert np.abs(transformed.mean(axis=0)).min() > 1.0
+
+    def test_fallback_matches_manual_standardisation(self, rng):
+        normalizer = FeatureNormalizer()
+        features = rng.normal(size=(40, NUM_FEATURES))
+        mean, std = FeatureNormalizer._moments(features)
+        np.testing.assert_allclose(
+            normalizer.transform("unknown", features), (features - mean) / std
+        )
+
+    def test_moments_pin_constant_columns(self):
+        features = np.ones((10, NUM_FEATURES))
+        mean, std = FeatureNormalizer._moments(features)
+        np.testing.assert_allclose(std, np.ones((1, NUM_FEATURES)))
+
+    def test_fit_update_keeps_first_statistics(self, rng):
+        normalizer = FeatureNormalizer()
+        first = rng.normal(size=(20, NUM_FEATURES))
+        normalizer.fit_update("w", first)
+        normalizer.fit_update("w", first * 100.0)
+        mean, _ = FeatureNormalizer._moments(first)
+        np.testing.assert_allclose(normalizer._stats["w"][0], mean)
+
+    def test_missing_normalizer_warns(self, trained_setup):
+        model, train, _ = trained_setup
+        qmodel = quantize_model(model, bits=4)
+        with pytest.warns(RuntimeWarning, match="no fitted statistics"):
+            extract_parameter_features(qmodel, train.features[:8])
+
+    def test_mismatched_parameter_names_warn(self, rng):
+        """A fitted normalizer applied to unknown names must not fail silently."""
+        normalizer = FeatureNormalizer()
+        normalizer.fit_update("model_a.weight", rng.normal(size=(20, NUM_FEATURES)))
+        with pytest.warns(RuntimeWarning, match="no fitted statistics"):
+            normalizer.transform("model_b.weight", rng.normal(size=(20, NUM_FEATURES)))
+
+    def test_fitted_normalizer_does_not_warn(self, trained_setup, recwarn):
+        model, train, _ = trained_setup
+        qmodel = quantize_model(model, bits=4)
+        extract_parameter_features(
+            qmodel, train.features[:8], normalizer=FeatureNormalizer(), fit_normalizer=True
+        )
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+
+class TestFusedFeatureExtraction:
+    def test_fused_matrix_matches_per_tensor_blocks(self, trained_setup):
+        model, train, _ = trained_setup
+        qmodel = quantize_model(model, bits=4)
+        normalizer = FeatureNormalizer()
+        per_tensor = extract_parameter_features(
+            qmodel, train.features[:8], normalizer=normalizer, fit_normalizer=True
+        )
+        fused = extract_parameter_features_fused(
+            qmodel, train.features[:8], normalizer=normalizer
+        )
+        assert set(fused.names) == set(per_tensor)
+        assert fused.matrix.shape == (qmodel.num_parameters(), NUM_FEATURES)
+        for name, block in fused.blocks(fused.matrix):
+            np.testing.assert_array_equal(block, per_tensor[name])
+
+    def test_fused_and_per_tensor_calibrators_propose_identical_flips(
+        self, trained_setup, rng
+    ):
+        """Acceptance: fused BF + incremental sync == per-tensor path at float64."""
+        model, train, target = trained_setup
+        import copy
+
+        qmodel = quantize_model(copy.deepcopy(model), bits=4, incremental=True)
+        legacy = quantize_model(copy.deepcopy(model), bits=4, incremental=False)
+        normalizer = FeatureNormalizer()
+        extract_parameter_features(
+            qmodel, train.features[:16], normalizer=normalizer, fit_normalizer=True
+        )
+        network = BitFlipNetwork(rng=np.random.default_rng(9))
+        make = lambda fused: BitFlipCalibrator(
+            network, epochs=1, confidence_threshold=0.3, max_flip_fraction=0.25,
+            normalizer=normalizer, batchnorm_refresh_passes=0, fused=fused,
+        )
+        pool = target.train.subset(np.arange(16))
+        flips_fused, count_fused = make(True)._propose_flips(qmodel, pool)
+        flips_legacy, count_legacy = make(False)._propose_flips(legacy, pool)
+        assert count_fused == count_legacy
+        assert set(flips_fused) == set(flips_legacy)
+        for name in flips_fused:
+            np.testing.assert_array_equal(flips_fused[name], flips_legacy[name])
+
+    def test_full_calibration_identical_between_paths(self, trained_setup, rng):
+        model, train, target = trained_setup
+        import copy
+
+        normalizer = FeatureNormalizer()
+        probe = quantize_model(copy.deepcopy(model), bits=4)
+        extract_parameter_features(
+            probe, train.features[:16], normalizer=normalizer, fit_normalizer=True
+        )
+        network = BitFlipNetwork(rng=np.random.default_rng(9))
+        pool = target.train.subset(np.arange(20))
+        results = {}
+        for fused, incremental in ((True, True), (False, False)):
+            qmodel = quantize_model(copy.deepcopy(model), bits=4, incremental=incremental)
+            calibrator = BitFlipCalibrator(
+                network, epochs=2, confidence_threshold=0.3,
+                normalizer=normalizer, batchnorm_refresh_passes=1, fused=fused,
+            )
+            stats = calibrator.calibrate(qmodel, pool)
+            results[fused] = (stats, qmodel.snapshot_codes())
+        stats_fast, codes_fast = results[True]
+        stats_legacy, codes_legacy = results[False]
+        assert stats_fast.flips_per_epoch == stats_legacy.flips_per_epoch
+        for name in codes_fast:
+            np.testing.assert_array_equal(codes_fast[name], codes_legacy[name])

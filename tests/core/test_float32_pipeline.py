@@ -1,0 +1,59 @@
+"""End-to-end coverage of the shipped float32 default.
+
+The rest of the suite pins float64 (see ``tests/conftest.py``) to keep the
+reference numerics; this module exercises the full BF-train → edge-calibrate
+pipeline at the float32 compute dtype every deployment actually runs with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn, runtime
+from repro.core import BitFlipCalibrator, BitFlipTrainer
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.models import InceptionTimeSurrogate
+from repro.nn.training import train_classifier
+from repro.quantization import quantize_model
+
+TINY_TS = SyntheticTimeSeriesConfig(
+    num_classes=3, num_domains=2, channels=3, length=16,
+    train_per_class=10, val_per_class=2, test_per_class=2,
+)
+
+
+@pytest.fixture()
+def float32_runtime():
+    with runtime.use_dtype(np.float32):
+        yield
+
+
+def test_bf_pipeline_end_to_end_at_float32(float32_runtime):
+    rng = np.random.default_rng(0)
+    data = make_dsa_surrogate(seed=0, config=TINY_TS)
+    train = data["Subj. 1"].train
+    target = data["Subj. 2"].train
+    model = InceptionTimeSurrogate(3, TINY_TS.num_classes, branch_channels=4, depth=1, rng=rng)
+    train_classifier(
+        model, nn.SGD(model.parameters(), lr=0.05, momentum=0.9),
+        train.features, train.labels, epochs=4, batch_size=16, rng=rng,
+    )
+    qmodel = quantize_model(model, bits=4)
+    assert all(param.data.dtype == np.float32 for param in qmodel.model.parameters())
+
+    trainer = BitFlipTrainer(bits=4, bf_epochs=4, rng=rng)
+    result = trainer.train(qmodel, train.subset(np.arange(20)), calibration_epochs=3)
+    assert result.samples_collected > 0
+
+    calibrator = BitFlipCalibrator(
+        result.network, epochs=2, confidence_threshold=0.5,
+        normalizer=result.normalizer, batchnorm_refresh_passes=1,
+    )
+    stats = calibrator.calibrate(qmodel, target.subset(np.arange(12)))
+    assert stats.epochs == 2
+    logits = qmodel.forward(target.features[:6])
+    assert logits.dtype == np.float32
+    assert np.all(np.isfinite(logits))
+    accuracy = qmodel.evaluate(train.features, train.labels)
+    assert 0.0 <= accuracy <= 1.0

@@ -64,6 +64,18 @@ class TestDataset:
         with pytest.raises(ValueError):
             ds.split([0.5, 0.6], rng)
 
+    def test_split_accepts_valid_fractions_at_float32_runtime(self, rng):
+        """Fraction validation must stay float64-tight under the float32 default."""
+        from repro import runtime
+
+        features = rng.normal(size=(60, 2))
+        labels = np.repeat(np.arange(3), 20)
+        ds = Dataset(features, labels, 3)
+        with runtime.use_dtype(np.float32):
+            # Sums to 1 exactly in float64 but only to ~6e-8 in float32.
+            parts = ds.split([0.45, 0.35, 0.2], rng)
+        assert sum(len(part) for part in parts) == 60
+
     def test_shuffled_preserves_pairs(self, rng):
         features = np.arange(10)[:, None].astype(float)
         labels = np.arange(10) % 2

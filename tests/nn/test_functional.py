@@ -1,0 +1,115 @@
+"""Tests for the im2col/col2im fast paths (cached indices, bincount scatter)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.nn import functional as F
+
+
+def _col2im_1d_reference(cols, input_shape, kernel_size, stride, padding):
+    """The original ``np.add.at`` scatter, kept as the correctness oracle."""
+    n, c, length = input_shape
+    padded_len = length + 2 * padding
+    out_len = (padded_len - kernel_size) // stride + 1
+    grad_padded = np.zeros((n, c, padded_len), dtype=np.float64)
+    cols = cols.reshape(n, out_len, c, kernel_size).transpose(0, 2, 1, 3)
+    starts = np.arange(out_len) * stride
+    idx = starts[:, None] + np.arange(kernel_size)[None, :]
+    np.add.at(grad_padded, (slice(None), slice(None), idx), cols)
+    if padding > 0:
+        return grad_padded[:, :, padding:-padding]
+    return grad_padded
+
+
+def _col2im_2d_reference(cols, input_shape, kernel_size, stride, padding):
+    n, c, h, w = input_shape
+    ph, pw = h + 2 * padding, w + 2 * padding
+    out_h = (ph - kernel_size) // stride + 1
+    out_w = (pw - kernel_size) // stride + 1
+    grad_padded = np.zeros((n, c, ph, pw), dtype=np.float64)
+    cols = cols.reshape(n, out_h, out_w, c, kernel_size, kernel_size)
+    cols = cols.transpose(0, 3, 1, 4, 2, 5)
+    row_idx = np.arange(out_h)[:, None] * stride + np.arange(kernel_size)[None, :]
+    col_idx = np.arange(out_w)[:, None] * stride + np.arange(kernel_size)[None, :]
+    np.add.at(
+        grad_padded,
+        (slice(None), slice(None), row_idx[:, :, None, None], col_idx[None, None, :, :]),
+        cols,
+    )
+    if padding > 0:
+        return grad_padded[:, :, padding:-padding, padding:-padding]
+    return grad_padded
+
+
+class TestCol2ImBincount:
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [
+            ((2, 3, 9), 3, 1, 1),
+            ((1, 2, 8), 3, 2, 1),
+            ((3, 1, 7), 1, 1, 0),
+            ((2, 4, 12), 5, 2, 2),
+        ],
+    )
+    def test_matches_add_at_reference_1d(self, rng, shape, kernel, stride, padding):
+        n, c, length = shape
+        out_len = (length + 2 * padding - kernel) // stride + 1
+        cols = rng.normal(size=(n, out_len, c * kernel))
+        fast = F.col2im_1d(cols, shape, kernel, stride, padding)
+        reference = _col2im_1d_reference(cols, shape, kernel, stride, padding)
+        np.testing.assert_allclose(fast, reference, rtol=1e-12, atol=0)
+
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [
+            ((2, 2, 6, 6), 3, 1, 1),
+            ((1, 3, 8, 8), 3, 2, 1),
+            ((2, 1, 5, 5), 1, 1, 0),
+        ],
+    )
+    def test_matches_add_at_reference_2d(self, rng, shape, kernel, stride, padding):
+        n, c, h, w = shape
+        out_h = (h + 2 * padding - kernel) // stride + 1
+        out_w = (w + 2 * padding - kernel) // stride + 1
+        cols = rng.normal(size=(n, out_h * out_w, c * kernel * kernel))
+        fast = F.col2im_2d(cols, shape, kernel, stride, padding)
+        reference = _col2im_2d_reference(cols, shape, kernel, stride, padding)
+        np.testing.assert_allclose(fast, reference, rtol=1e-12, atol=0)
+
+    def test_im2col_col2im_adjoint_1d(self, rng):
+        """<im2col(x), cols> == <x, col2im(cols)> — the defining adjoint identity."""
+        x = rng.normal(size=(2, 3, 10))
+        cols = rng.normal(size=(2, 10, 9))  # kernel 3, stride 1, padding 1
+        lhs = float(np.sum(F.im2col_1d(x, 3, 1, 1) * cols))
+        rhs = float(np.sum(x * F.col2im_1d(cols, x.shape, 3, 1, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_output_follows_runtime_dtype(self, rng):
+        cols64 = rng.normal(size=(1, 5, 4))  # kernel 2, stride 1 over length 6
+        with runtime.use_dtype(np.float32):
+            out = F.col2im_1d(cols64.astype(np.float32), (1, 2, 6), 2, 1, 0)
+            assert out.dtype == np.float32
+        out64 = F.col2im_1d(cols64, (1, 2, 6), 2, 1, 0)
+        assert out64.dtype == np.float64
+
+
+class TestIndexCaching:
+    def test_patch_indices_are_memoised(self):
+        first = F._patch_indices_1d(13, 3, 2)
+        second = F._patch_indices_1d(13, 3, 2)
+        assert first is second
+
+    def test_cached_indices_are_read_only(self):
+        idx = F._patch_indices_1d(7, 3, 1)
+        with pytest.raises(ValueError):
+            idx[0, 0] = 99
+        positions = F._scatter_positions_2d(4, 4, 3, 1, 8)
+        with pytest.raises(ValueError):
+            positions[0] = 1
+
+    def test_different_geometries_get_different_indices(self):
+        assert F._patch_indices_1d(5, 3, 1)[-1, -1] == 6
+        assert F._patch_indices_1d(5, 3, 2)[-1, -1] == 10

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import nn
+from repro import nn, runtime
+from repro.quantization.quantizer import UniformQuantizer
 from repro.nn.training import evaluate, train_classifier
 from repro.quantization import (
     QuantizationConfig,
@@ -87,6 +88,155 @@ class TestQuantizedModel:
         model = _make_trained_model(x, y, rng)
         qmodel = quantize_model(model, bits=4)
         assert qmodel.num_parameters() == model.num_parameters()
+
+
+class TestIncrementalSync:
+    def _flips_for_one_tensor(self, qmodel, rng):
+        name = next(
+            name for name, qt in qmodel.qtensors.items() if qt.codes.ndim == 2
+        )
+        return {name: rng.integers(-1, 2, size=qmodel.qtensors[name].codes.shape)}
+
+    def test_apply_flips_leaves_other_tensors_bitwise_unchanged(
+        self, small_classification_data, rng
+    ):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        flips = self._flips_for_one_tensor(qmodel, rng)
+        (flipped_name,) = flips
+        before = {
+            name: param.data.copy() for name, param in qmodel.model.named_parameters()
+        }
+        codes_before = qmodel.snapshot_codes()
+        qmodel.apply_flips(flips)
+        for name, param in qmodel.model.named_parameters():
+            if name == flipped_name:
+                continue
+            assert np.array_equal(param.data, before[name]), name
+            assert np.array_equal(qmodel.qtensors[name].codes, codes_before[name])
+
+    def test_incremental_matches_full_sync_logits(self, small_classification_data, rng):
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        import copy
+
+        pristine = copy.deepcopy(model)  # before either wrapper mutates the weights
+        incremental = QuantizedModel(model, QuantizationConfig(bits=4), incremental=True)
+        full = QuantizedModel(pristine, QuantizationConfig(bits=4), incremental=False)
+        flips = self._flips_for_one_tensor(incremental, np.random.default_rng(3))
+        incremental.apply_flips({k: v.copy() for k, v in flips.items()})
+        full.apply_flips({k: v.copy() for k, v in flips.items()})
+        state_a = incremental.model.state_dict()
+        state_b = full.model.state_dict()
+        for name in state_a:
+            assert np.array_equal(state_a[name], state_b[name]), name
+        np.testing.assert_array_equal(incremental.forward(x), full.forward(x))
+
+    def test_sync_is_noop_when_clean(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        assert not qmodel._dirty
+        arrays_before = [param.data for param in qmodel.model.parameters()]
+        qmodel.sync()
+        arrays_after = [param.data for param in qmodel.model.parameters()]
+        # A clean incremental sync must not even reallocate the weight arrays.
+        assert all(a is b for a, b in zip(arrays_before, arrays_after))
+
+    def test_restore_codes_round_trip(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        reference = qmodel.forward(x)
+        snapshot = qmodel.snapshot_codes()
+        qmodel.apply_flips(self._flips_for_one_tensor(qmodel, rng))
+        qmodel.restore_codes(snapshot)
+        np.testing.assert_array_equal(qmodel.forward(x), reference)
+
+    def test_flip_then_qat_identical_across_modes(self, small_classification_data, rng):
+        """Interleaved edge flips and QAT steps must not diverge between modes."""
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        import copy
+
+        pristine = copy.deepcopy(model)  # before either wrapper mutates the weights
+        incremental = QuantizedModel(model, QuantizationConfig(bits=4), incremental=True)
+        full = QuantizedModel(pristine, QuantizationConfig(bits=4), incremental=False)
+        flips = self._flips_for_one_tensor(incremental, np.random.default_rng(7))
+        for qmodel in (incremental, full):
+            qmodel.apply_flips({k: v.copy() for k, v in flips.items()})
+            calibrate_with_backprop(
+                qmodel, x, y, epochs=2, lr=0.05, rng=np.random.default_rng(11)
+            )
+        for name in incremental.qtensors:
+            np.testing.assert_array_equal(
+                incremental.qtensors[name].codes, full.qtensors[name].codes
+            )
+            np.testing.assert_array_equal(incremental.latent[name], full.latent[name])
+
+    def test_restore_codes_collapses_latent_like_full_mode(
+        self, small_classification_data, rng
+    ):
+        """Rollback must leave identical latent state in both sync modes."""
+        x, y = small_classification_data
+        model = _make_trained_model(x, y, rng)
+        import copy
+
+        pristine = copy.deepcopy(model)  # before either wrapper mutates the weights
+        incremental = QuantizedModel(model, QuantizationConfig(bits=8), incremental=True)
+        full = QuantizedModel(pristine, QuantizationConfig(bits=8), incremental=False)
+        for qmodel in (incremental, full):
+            snapshot = qmodel.snapshot_codes()
+            # A delta too small to move any 8-bit code: codes match the
+            # snapshot, but the latent view has drifted.
+            qmodel.update_latent(
+                {name: np.full_like(values, 1e-9) for name, values in qmodel.latent.items()}
+            )
+            qmodel.restore_codes(snapshot)
+        assert incremental.quantization_error() == pytest.approx(full.quantization_error())
+        for name in incremental.latent:
+            np.testing.assert_array_equal(incremental.latent[name], full.latent[name])
+
+    def test_force_sync_still_rewrites_everything(self, small_classification_data, rng):
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)
+        # Corrupt a model weight behind the wrapper's back; force=True repairs it.
+        param = next(iter(qmodel.model.parameters()))
+        param.data = param.data + 1.0
+        qmodel.sync()  # incremental: clean, so the corruption survives
+        assert np.max(np.abs(param.data)) > 0.9
+        qmodel.sync(force=True)
+        name = next(name for name, p in qmodel.model.named_parameters() if p is param)
+        np.testing.assert_array_equal(param.data, qmodel.qtensors[name].dequantize())
+
+
+class TestDtypeRoundTrips:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_quantize_dequantize_round_trip(self, dtype, bits):
+        rng = np.random.default_rng(12)
+        with runtime.use_dtype(dtype):
+            values = runtime.asarray(rng.normal(size=(32, 16)))
+            quantizer = UniformQuantizer(QuantizationConfig(bits=bits))
+            qt = quantizer.quantize(values)
+            restored = qt.dequantize()
+            assert restored.dtype == np.dtype(dtype)
+            assert qt.codes.min() >= qt.config.qmin
+            assert qt.codes.max() <= qt.config.qmax
+            # Uniform quantization error is bounded by half a step.
+            assert float(np.max(np.abs(restored - values))) <= 0.5 * qt.scale * (1 + 1e-5)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_quantized_model_round_trip(self, small_classification_data, dtype):
+        x, y = small_classification_data
+        with runtime.use_dtype(dtype):
+            rng = np.random.default_rng(5)
+            model = nn.Sequential(nn.Dense(3, 8, rng=rng), nn.ReLU(), nn.Dense(8, 3, rng=rng))
+            qmodel = quantize_model(model, bits=8)
+            for name, param in qmodel.model.named_parameters():
+                assert param.data.dtype == np.dtype(dtype)
+                np.testing.assert_array_equal(
+                    param.data, qmodel.qtensors[name].dequantize()
+                )
+            assert qmodel.forward(x).dtype == np.dtype(dtype)
 
 
 class TestTemporarilyQuantized:

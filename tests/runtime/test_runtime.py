@@ -1,0 +1,116 @@
+"""Tests for the process-global compute-dtype configuration."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn, runtime
+
+
+class TestDtypeState:
+    def test_default_is_float32(self):
+        assert runtime.DEFAULT_DTYPE == np.dtype(np.float32)
+
+    def test_set_returns_previous(self):
+        previous = runtime.set_dtype(np.float32)
+        try:
+            assert runtime.get_dtype() == np.dtype(np.float32)
+        finally:
+            runtime.set_dtype(previous)
+        assert runtime.get_dtype() == previous
+
+    def test_use_dtype_restores_on_exit(self):
+        before = runtime.get_dtype()
+        with runtime.use_dtype(np.float32) as active:
+            assert active == np.dtype(np.float32)
+            assert runtime.get_dtype() == np.dtype(np.float32)
+        assert runtime.get_dtype() == before
+
+    def test_use_dtype_restores_on_exception(self):
+        before = runtime.get_dtype()
+        with pytest.raises(RuntimeError):
+            with runtime.use_dtype(np.float32):
+                raise RuntimeError("boom")
+        assert runtime.get_dtype() == before
+
+    def test_nested_contexts(self):
+        with runtime.use_dtype(np.float32):
+            with runtime.use_dtype(np.float64):
+                assert runtime.get_dtype() == np.dtype(np.float64)
+            assert runtime.get_dtype() == np.dtype(np.float32)
+
+    def test_string_names_accepted(self):
+        with runtime.use_dtype("float32"):
+            assert runtime.get_dtype() == np.dtype(np.float32)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            runtime.set_dtype(np.float16)
+        with pytest.raises(ValueError):
+            runtime.set_dtype(np.int32)
+
+    def test_environment_override(self):
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, REPRO_COMPUTE_DTYPE="float64", PYTHONPATH=str(src))
+        out = subprocess.run(
+            [sys.executable, "-c", "from repro import runtime; print(runtime.get_dtype())"],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == "float64"
+
+
+class TestArrayHelpers:
+    def test_asarray_casts_to_active_dtype(self):
+        with runtime.use_dtype(np.float32):
+            cast = runtime.asarray(np.arange(4, dtype=np.float64))
+            assert cast.dtype == np.float32
+
+    def test_asarray_is_noop_for_matching_dtype(self):
+        with runtime.use_dtype(np.float32):
+            values = np.ones(3, dtype=np.float32)
+            assert runtime.asarray(values) is values
+
+    def test_zeros_and_ones_follow_active_dtype(self):
+        with runtime.use_dtype(np.float32):
+            assert runtime.zeros((2, 2)).dtype == np.float32
+            assert runtime.ones(3).dtype == np.float32
+
+
+class TestSubstrateFollowsDtype:
+    def test_parameter_created_at_active_dtype(self):
+        with runtime.use_dtype(np.float32):
+            param = nn.Parameter(np.ones(4))
+            assert param.data.dtype == np.float32
+            assert param.grad.dtype == np.float32
+
+    def test_forward_pass_stays_in_float32(self, rng):
+        with runtime.use_dtype(np.float32):
+            model = nn.Sequential(nn.Dense(6, 8, rng=rng), nn.ReLU(), nn.Dense(8, 3, rng=rng))
+            out = model.forward(rng.normal(size=(5, 6)))
+            assert out.dtype == np.float32
+
+    def test_conv_backward_stays_in_float32(self, rng):
+        with runtime.use_dtype(np.float32):
+            layer = nn.Conv1d(3, 4, kernel_size=3, rng=rng)
+            out = layer.forward(rng.normal(size=(2, 3, 12)))
+            grad_in = layer.backward(np.ones_like(out))
+            assert grad_in.dtype == np.float32
+            assert layer.weight.grad.dtype == np.float32
+
+    def test_float32_and_float64_models_agree_loosely(self, rng):
+        x = rng.normal(size=(4, 5))
+        with runtime.use_dtype(np.float64):
+            model64 = nn.Sequential(nn.Dense(5, 7, rng=np.random.default_rng(7)), nn.ReLU(),
+                                    nn.Dense(7, 2, rng=np.random.default_rng(8)))
+            out64 = model64.forward(x)
+        with runtime.use_dtype(np.float32):
+            model32 = nn.Sequential(nn.Dense(5, 7, rng=np.random.default_rng(7)), nn.ReLU(),
+                                    nn.Dense(7, 2, rng=np.random.default_rng(8)))
+            out32 = model32.forward(x)
+        np.testing.assert_allclose(out32, out64, atol=1e-5)
