@@ -7,17 +7,20 @@ machinery.
 
 from __future__ import annotations
 
+import functools
 import pathlib
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro import nn
+from repro.baselines import AGEM, Camel, DeepCompression, DER, DERpp, ER, ERACE
 from repro.data import (
     MultiDomainDataset,
     SyntheticImageConfig,
     SyntheticTimeSeriesConfig,
 )
+from repro.eval import QCoreMethod
 from repro.models import build_model
 from repro.nn.module import Module
 from repro.nn.training import train_classifier
@@ -107,3 +110,36 @@ def qcore_kwargs() -> dict:
         batch_size=BENCH_SETTINGS["batch_size"],
         seed=BENCH_SETTINGS["seed"],
     )
+
+
+#: Baseline classes in the row order of the paper's tables.
+BASELINE_CLASSES = {
+    "A-GEM": AGEM,
+    "DER": DER,
+    "DER++": DERpp,
+    "ER": ER,
+    "ER-ACE": ERACE,
+    "Camel": Camel,
+    "DeepC": DeepCompression,
+}
+
+
+def method_factories(
+    baseline_overrides: Optional[dict] = None,
+    qcore_overrides: Optional[dict] = None,
+) -> Dict[str, Callable]:
+    """Spawn-safe method factories for the table benchmarks.
+
+    Built with :func:`functools.partial` over top-level classes so they pickle
+    under the ``multiprocessing`` ``spawn`` start method — lambdas would not —
+    which lets the same factory dict drive both the serial and the sharded
+    (:class:`repro.eval.ParallelEvaluator`) runners.
+    """
+    kwargs = {**baseline_kwargs(), **(baseline_overrides or {})}
+    factories: Dict[str, Callable] = {
+        name: functools.partial(cls, **kwargs) for name, cls in BASELINE_CLASSES.items()
+    }
+    factories["QCore"] = functools.partial(
+        QCoreMethod, **{**qcore_kwargs(), **(qcore_overrides or {})}
+    )
+    return factories

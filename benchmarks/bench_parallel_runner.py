@@ -1,0 +1,169 @@
+"""Sharded stream-evaluation benchmark: serial vs. multi-worker sweeps.
+
+Runs a (method × source→target pair × bit-width) sweep twice — once with
+``workers=1`` (the serial path) and once sharded over worker processes — and
+verifies the merged sharded results are **bit-identical** to the serial ones
+before reporting wall-clock numbers.  The speedup therefore measures pure
+orchestration: same work, same answers, different wall-clock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py            # full run
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py --smoke    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_parallel_runner.py --workers 8
+
+The full run appends a ``parallel_eval`` entry to ``BENCH_perf.json`` at the
+repository root (override with ``--out``); smoke runs write under a separate
+``parallel_eval_smoke`` key so they never clobber the recorded full-run
+numbers.  The recorded ``cpu_count`` is the cores visible to the process — on
+a single-core machine the sweep cannot go faster than serial and the entry
+documents that honestly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import nn
+from repro.baselines import ER
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.eval import (
+    ParallelEvaluator,
+    QCoreMethod,
+    build_specs,
+    resolve_workers,
+    results_to_table,
+)
+from repro.models import build_model
+from repro.nn.training import train_classifier
+
+FULL_CONFIG = dict(
+    num_classes=6, num_domains=5, channels=6, length=28,
+    train_per_class=15, val_per_class=3, test_per_class=8,
+    num_batches=4, bits=(4,), train_epochs=10, seed=0,
+)
+SMOKE_CONFIG = dict(
+    num_classes=3, num_domains=3, channels=3, length=16,
+    train_per_class=8, val_per_class=1, test_per_class=3,
+    num_batches=2, bits=(4,), train_epochs=3, seed=0,
+)
+
+
+def _build_sweep(config: dict):
+    """Dataset, trained source backbone, and the spec queue of the sweep."""
+    ts = SyntheticTimeSeriesConfig(
+        num_classes=config["num_classes"], num_domains=config["num_domains"],
+        channels=config["channels"], length=config["length"],
+        train_per_class=config["train_per_class"], val_per_class=config["val_per_class"],
+        test_per_class=config["test_per_class"],
+    )
+    data = make_dsa_surrogate(seed=config["seed"], config=ts)
+    source = data.domain_names[0]
+    rng = np.random.default_rng(config["seed"])
+    model = build_model("InceptionTime", data.input_shape, data.num_classes, rng=rng)
+    train_classifier(
+        model, nn.SGD(model.parameters(), lr=0.05, momentum=0.9),
+        data[source].train.features, data[source].train.labels,
+        epochs=config["train_epochs"], batch_size=32, rng=rng,
+    )
+    # One stream per remaining domain — the Fig. 7 many-streams layout.
+    pairs = [(source, target) for target in data.domain_names[1:]]
+    methods = {
+        "ER": functools.partial(
+            ER, buffer_size=20, adapt_epochs=2, lr=0.05, batch_size=32,
+            initial_calibration_epochs=5, seed=config["seed"],
+        ),
+        "QCore": functools.partial(
+            QCoreMethod, qcore_size=20, train_epochs=8, calibration_epochs=6,
+            edge_calibration_epochs=3, lr=0.05, batch_size=32, seed=config["seed"],
+        ),
+    }
+    specs = build_specs(methods, pairs, config["bits"], seed=config["seed"])
+    return data, model, specs
+
+
+def _identity(result) -> tuple:
+    """Everything except wall-clock measurements."""
+    return (result.method, result.scenario, result.bits, result.seed,
+            tuple(result.batch_accuracies), result.memory_bytes)
+
+
+def run_benchmark(config: dict, workers: int, mp_context: str) -> dict:
+    data, model, specs = _build_sweep(config)
+    num_batches = config["num_batches"]
+
+    start = time.perf_counter()
+    serial = ParallelEvaluator(num_batches=num_batches, workers=1).run(specs, data, model)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = ParallelEvaluator(
+        num_batches=num_batches, workers=workers, mp_context=mp_context
+    ).run(specs, data, model)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = [_identity(r) for r in sharded] == [_identity(r) for r in serial]
+    if not identical:
+        raise AssertionError(
+            "sharded results diverged from the serial baseline — "
+            "the parallel runner must be bit-identical"
+        )
+
+    table = results_to_table(
+        serial, title=f"Sharded sweep ({len(specs)} streams)",
+        column=lambda r: r.target,
+    )
+    print(table.render())
+
+    return {
+        "config": {k: (list(v) if isinstance(v, tuple) else v) for k, v in config.items()},
+        "num_specs": len(specs),
+        "workers": workers,
+        "mp_context": mp_context,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "results_identical": identical,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-scale sweep")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: REPRO_EVAL_WORKERS, else 4; smoke: 2)")
+    parser.add_argument("--mp-context", default="spawn", choices=("spawn", "fork", "forkserver"))
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_perf.json",
+                        help="JSON report to update with the parallel_eval entry")
+    args = parser.parse_args()
+
+    config = SMOKE_CONFIG if args.smoke else FULL_CONFIG
+    workers = resolve_workers(args.workers, default=2 if args.smoke else 4)
+
+    entry = run_benchmark(config, workers=workers, mp_context=args.mp_context)
+    entry["mode"] = "smoke" if args.smoke else "full"
+
+    report = {}
+    if args.out.exists():
+        report = json.loads(args.out.read_text())
+    report["parallel_eval_smoke" if args.smoke else "parallel_eval"] = entry
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    print(f"[updated {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

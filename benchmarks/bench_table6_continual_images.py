@@ -3,46 +3,39 @@
 Same protocol as Table 5 but with the image backbones (ResNet18 / VGG16
 surrogates).  Expected shape (paper): QCore outperforms the replay baselines
 in every bit-width on average.
+
+Runs through the sharded runner; export ``REPRO_EVAL_WORKERS=N`` to
+parallelise the grid without changing any result.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import AGEM, Camel, DeepCompression, DER, DERpp, ER, ERACE
-from repro.eval import ContinualEvaluator, QCoreMethod, ResultsTable
-from bench_config import BENCH_SETTINGS, baseline_kwargs, qcore_kwargs, save_result
+from repro.eval import ParallelEvaluator, build_specs, results_to_table
+from bench_config import BENCH_SETTINGS, method_factories, save_result
 
 
 def _run(caltech_data, backbones, model_name):
     settings = BENCH_SETTINGS
-    evaluator = ContinualEvaluator(num_batches=settings["num_batches"], seed=settings["seed"])
+    evaluator = ParallelEvaluator(num_batches=settings["num_batches"])
     source = caltech_data.domain_names[0]
     target = caltech_data.domain_names[1]
     model = backbones[("Caltech10", model_name, source)]
-    scenario = evaluator.build_scenario(caltech_data, source, target)
-    kwargs = baseline_kwargs()
-    factories = {
-        "A-GEM": lambda: AGEM(**kwargs),
-        "DER": lambda: DER(**kwargs),
-        "DER++": lambda: DERpp(**kwargs),
-        "ER": lambda: ER(**kwargs),
-        "ER-ACE": lambda: ERACE(**kwargs),
-        "Camel": lambda: Camel(**kwargs),
-        "DeepC": lambda: DeepCompression(**kwargs),
-        "QCore": lambda: QCoreMethod(**{**qcore_kwargs(), "train_epochs": 8}),
-    }
-    table = ResultsTable(
+    specs = build_specs(
+        method_factories(qcore_overrides={"train_epochs": 8}),
+        [(source, target)],
+        settings["bits"],
+        seed=settings["seed"],
+    )
+    results = evaluator.run(specs, caltech_data, model)
+    return results_to_table(
+        results,
         title=(
             f"Table 6 (Caltech10 surrogate, {model_name}) — average accuracy in the "
             f"continual setting, QCore/buffer size {settings['qcore_size']}"
-        )
+        ),
     )
-    for name, factory in factories.items():
-        for bits in settings["bits"]:
-            result = evaluator.run(factory(), scenario, model, bits=bits)
-            table.add(name, f"{bits}-bit", result.average_accuracy)
-    return table
 
 
 def test_table6_caltech_resnet(benchmark, caltech_data, trained_backbones):

@@ -4,15 +4,20 @@ Measures the wall-clock time of one adaptation step (stream batch) for every
 method at 4 bits on all three datasets.  Expected shape (paper): QCore is
 several times faster than every back-propagation baseline because edge-side
 calibration is inference-only.
+
+Runs through the sharded runner; export ``REPRO_EVAL_WORKERS=N`` to spread
+the methods over worker processes.  Note that when several workers share one
+core, per-step *timings* (the quantity Table 9 reports) get noisier even
+though accuracies stay identical — keep ``REPRO_EVAL_WORKERS`` at/below the
+physical core count when regenerating this table.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import AGEM, Camel, DeepCompression, DER, DERpp, ER, ERACE
-from repro.eval import ContinualEvaluator, QCoreMethod, ResultsTable
-from bench_config import BENCH_SETTINGS, baseline_kwargs, qcore_kwargs, save_result, train_backbone
+from repro.eval import ParallelEvaluator, ResultsTable, build_specs
+from bench_config import BENCH_SETTINGS, method_factories, save_result, train_backbone
 
 MODEL_FOR_DATASET = {"DSA": "InceptionTime", "USC": "InceptionTime", "Caltech10": "ResNet18"}
 
@@ -22,18 +27,8 @@ def _run(datasets):
     # The paper trains baselines for hundreds of BP epochs per calibration while
     # QCore needs a handful of inference iterations; mirror that asymmetry with
     # a scaled-down epoch count.
-    kwargs = {**baseline_kwargs(), "adapt_epochs": 10}
-    factories = {
-        "A-GEM": lambda: AGEM(**kwargs),
-        "DER": lambda: DER(**kwargs),
-        "DER++": lambda: DERpp(**kwargs),
-        "ER": lambda: ER(**kwargs),
-        "ER-ACE": lambda: ERACE(**kwargs),
-        "Camel": lambda: Camel(**kwargs),
-        "DeepC": lambda: DeepCompression(**kwargs),
-        "QCore": lambda: QCoreMethod(**qcore_kwargs()),
-    }
-    evaluator = ContinualEvaluator(num_batches=settings["num_batches"], seed=settings["seed"])
+    factories = method_factories(baseline_overrides={"adapt_epochs": 10})
+    evaluator = ParallelEvaluator(num_batches=settings["num_batches"])
     table = ResultsTable(
         title="Table 9 — average end-to-end running time per calibration (seconds), 4-bit"
     )
@@ -41,11 +36,10 @@ def _run(datasets):
     for dataset_name, data in datasets.items():
         source, target = data.domain_names[0], data.domain_names[1]
         model = train_backbone(data, MODEL_FOR_DATASET[dataset_name], source)
-        scenario = evaluator.build_scenario(data, source, target)
-        for name, factory in factories.items():
-            result = evaluator.run(factory(), scenario, model, bits=4)
-            table.add(name, dataset_name, result.average_adapt_seconds)
-            accuracy_note.add(name, dataset_name, result.average_accuracy)
+        specs = build_specs(factories, [(source, target)], (4,), seed=settings["seed"])
+        for result in evaluator.run(specs, data, model):
+            table.add(result.method, dataset_name, result.average_adapt_seconds)
+            accuracy_note.add(result.method, dataset_name, result.average_accuracy)
     return table, accuracy_note
 
 

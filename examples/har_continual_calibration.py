@@ -2,27 +2,47 @@
 
 Mirrors the Table 5 protocol at a reduced scale: one (source → target) subject
 pair, 5 stream batches, 2/4/8-bit deployments, QCore compared against
-Experience Replay and A-GEM.
+Experience Replay and A-GEM.  The (method × bits) grid runs through the
+sharded runner, so the same script demonstrates single-process and
+multi-process evaluation:
 
-    python examples/har_continual_calibration.py
+    python examples/har_continual_calibration.py              # serial
+    python examples/har_continual_calibration.py --workers 4  # sharded
+    REPRO_EVAL_WORKERS=4 python examples/har_continual_calibration.py
+
+Results are bit-identical at any worker count — only wall-clock changes.
 """
 
 from __future__ import annotations
+
+import argparse
+import functools
 
 import numpy as np
 
 from repro import nn
 from repro.baselines import AGEM, ER
 from repro.data import load_dataset
-from repro.eval import ContinualEvaluator, QCoreMethod, ResultsTable
+from repro.eval import ParallelEvaluator, QCoreMethod, build_specs, results_to_table
 from repro.models import build_model
 from repro.nn.training import train_classifier
 
+SEED = 0
 
-def main() -> None:
-    seed = 0
-    rng = np.random.default_rng(seed)
-    data = load_dataset("DSA", seed=seed, small=True)
+#: Module-level factories: picklable under the ``spawn`` start method.
+METHODS = {
+    "ER": functools.partial(ER, buffer_size=20, adapt_epochs=2, lr=0.05, batch_size=32,
+                            initial_calibration_epochs=8, seed=SEED),
+    "A-GEM": functools.partial(AGEM, buffer_size=20, adapt_epochs=2, lr=0.05, batch_size=32,
+                               initial_calibration_epochs=8, seed=SEED),
+    "QCore": functools.partial(QCoreMethod, qcore_size=20, train_epochs=12, calibration_epochs=10,
+                               edge_calibration_epochs=3, lr=0.05, batch_size=32, seed=SEED),
+}
+
+
+def main(workers: int | None = None) -> None:
+    rng = np.random.default_rng(SEED)
+    data = load_dataset("DSA", seed=SEED, small=True)
 
     # Train the shared full-precision backbone once on the source subject.
     model = build_model("InceptionTime", data.input_shape, data.num_classes, rng=rng)
@@ -32,32 +52,29 @@ def main() -> None:
         source.train.features, source.train.labels, epochs=15, batch_size=32, rng=rng,
     )
 
-    evaluator = ContinualEvaluator(num_batches=5, seed=seed)
-    scenario = evaluator.build_scenario(data, "Subj. 1", "Subj. 2")
-    table = ResultsTable(title=f"Average accuracy, {scenario.description} (buffer/QCore size 20)")
-    timing = ResultsTable(title="Average seconds per calibration")
+    evaluator = ParallelEvaluator(num_batches=5, workers=workers)
+    specs = build_specs(METHODS, [("Subj. 1", "Subj. 2")], bits_list=(2, 4, 8), seed=SEED)
+    results = evaluator.run(specs, data, model)
 
-    methods = {
-        "ER": lambda: ER(buffer_size=20, adapt_epochs=2, lr=0.05, batch_size=32,
-                         initial_calibration_epochs=8, seed=seed),
-        "A-GEM": lambda: AGEM(buffer_size=20, adapt_epochs=2, lr=0.05, batch_size=32,
-                              initial_calibration_epochs=8, seed=seed),
-        "QCore": lambda: QCoreMethod(qcore_size=20, train_epochs=12, calibration_epochs=10,
-                                     edge_calibration_epochs=3, lr=0.05, batch_size=32, seed=seed),
-    }
-
-    for bits in (2, 4, 8):
-        for name, factory in methods.items():
-            result = evaluator.run(factory(), scenario, model, bits=bits)
-            table.add(name, f"{bits}-bit", result.average_accuracy)
-            timing.add(name, f"{bits}-bit", result.average_adapt_seconds)
+    scenario = results[0].scenario
+    table = results_to_table(
+        results, title=f"Average accuracy, {scenario} (buffer/QCore size 20)"
+    )
+    timing = results_to_table(
+        results, title="Average seconds per calibration", metric="average_adapt_seconds"
+    )
 
     print(table.render())
     print()
     print(timing.render(float_format="{:.3f}"))
-    print("\nExpected shape: QCore matches or beats the replay baselines on average "
+    print(f"\n[{len(specs)} runs over {evaluator.workers} worker(s)]")
+    print("Expected shape: QCore matches or beats the replay baselines on average "
           "while calibrating several times faster (no back-propagation on the edge).")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: REPRO_EVAL_WORKERS, else 1)")
+    args = parser.parse_args()
+    main(workers=args.workers)

@@ -74,6 +74,35 @@ class ReplayBuffer:
             self._labels[slot] = label
             self._logits[slot] = None if logits is None else logits.copy()
 
+    @property
+    def seen(self) -> int:
+        """Total number of examples offered to the buffer so far."""
+        return self._seen
+
+    def stored_features(self) -> np.ndarray:
+        """Copy of the stored features, stacked along axis 0."""
+        if self.is_empty:
+            raise ValueError("buffer is empty")
+        return np.stack(self._features)
+
+    def stored_logits(self) -> List[Optional[np.ndarray]]:
+        """Defensive copies of the stored per-example logits (``None`` where absent)."""
+        return [None if row is None else row.copy() for row in self._logits]
+
+    def set_all_logits(self, logits: np.ndarray) -> None:
+        """Replace the stored logits of every example (defensively copied).
+
+        Used after the initial calibration so distillation-based methods
+        (DER / DER++) distil from the calibrated deployment rather than the
+        raw quantized model the buffer was seeded with.
+        """
+        if logits.shape[0] != len(self):
+            raise ValueError(
+                f"need one logit row per stored example ({len(self)}), "
+                f"got {logits.shape[0]}"
+            )
+        self._logits = [row.copy() for row in logits]
+
     def sample(
         self, size: int
     ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
@@ -261,9 +290,7 @@ class BackpropContinualMethod(ContinualMethod):
         assert self.buffer is not None
         if self.buffer.is_empty:
             return
-        features = np.stack(self.buffer._features)
-        logits = self._logits(features)
-        self.buffer._logits = [row.copy() for row in logits]
+        self.buffer.set_all_logits(self._logits(self.buffer.stored_features()))
 
     def evaluate(self, dataset: Dataset) -> float:
         if self.qmodel is None:

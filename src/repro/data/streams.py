@@ -75,6 +75,16 @@ def _split_into_batches(
     return [dataset.subset(chunk) for chunk in chunks]
 
 
+def _spawn_children(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are spawned from the generator's :class:`numpy.random.SeedSequence`
+    so their streams are statistically independent of each other *and* of any
+    further draws from ``rng`` itself.
+    """
+    return rng.spawn(count)
+
+
 def build_stream_scenario(
     dataset: MultiDomainDataset,
     source: str,
@@ -93,15 +103,20 @@ def build_stream_scenario(
     num_batches:
         Number of sequential stream batches (10 in the paper).
     rng:
-        Generator used to shuffle examples into batches.
+        Generator used to shuffle examples into batches.  The train and test
+        splits each consume an independent child generator (spawned via
+        ``SeedSequence``), so the test slice that batch ``i`` is scored on
+        depends only on the seed — not on the size of the train split or on
+        how many values the train shuffle happened to draw.
     """
     if source == target:
         raise ValueError("source and target domains must differ")
     rng = rng if rng is not None else np.random.default_rng(0)
     source_domain = dataset[source]
     target_domain = dataset[target]
-    stream_parts = _split_into_batches(target_domain.train, num_batches, rng)
-    test_parts = _split_into_batches(target_domain.test, num_batches, rng)
+    train_rng, test_rng = _spawn_children(rng, 2)
+    stream_parts = _split_into_batches(target_domain.train, num_batches, train_rng)
+    test_parts = _split_into_batches(target_domain.test, num_batches, test_rng)
     batches = [
         StreamBatch(index=i, data=stream_parts[i], test=test_parts[i])
         for i in range(num_batches)

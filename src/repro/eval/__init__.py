@@ -14,6 +14,16 @@ from repro.eval.metrics import (
 )
 from repro.eval.continual import ContinualEvaluator, MethodRunResult
 from repro.eval.methods import QCoreMethod
+from repro.eval.parallel import (
+    ParallelEvaluator,
+    RunSpec,
+    build_specs,
+    derive_seeds,
+    merge_results,
+    resolve_workers,
+    results_to_table,
+    run_spec,
+)
 from repro.eval.tables import ResultsTable, format_table
 
 __all__ = [
@@ -22,6 +32,14 @@ __all__ = [
     "forgetting",
     "ContinualEvaluator",
     "MethodRunResult",
+    "ParallelEvaluator",
+    "RunSpec",
+    "build_specs",
+    "derive_seeds",
+    "merge_results",
+    "resolve_workers",
+    "results_to_table",
+    "run_spec",
     "QCoreMethod",
     "ResultsTable",
     "format_table",

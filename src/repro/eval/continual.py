@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -17,7 +18,13 @@ from repro.nn.module import Module
 
 @dataclass
 class MethodRunResult:
-    """One method's trajectory over one scenario at one bit-width."""
+    """One method's trajectory over one scenario at one bit-width.
+
+    Instances are plain picklable records so they can cross process
+    boundaries (see :mod:`repro.eval.parallel`) and be serialised to JSON via
+    :meth:`to_dict` / :meth:`from_dict` for sharded sweeps that merge results
+    from several hosts.
+    """
 
     method: str
     scenario: str
@@ -25,6 +32,9 @@ class MethodRunResult:
     batch_accuracies: List[float] = field(default_factory=list)
     adapt_seconds: List[float] = field(default_factory=list)
     memory_bytes: int = 0
+    source: str = ""
+    target: str = ""
+    seed: int = 0
 
     @property
     def average_accuracy(self) -> float:
@@ -42,9 +52,35 @@ class MethodRunResult:
     def total_adapt_seconds(self) -> float:
         return float(np.sum(self.adapt_seconds))
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "method": self.method,
+            "scenario": self.scenario,
+            "bits": int(self.bits),
+            "batch_accuracies": [float(a) for a in self.batch_accuracies],
+            "adapt_seconds": [float(s) for s in self.adapt_seconds],
+            "memory_bytes": int(self.memory_bytes),
+            "source": self.source,
+            "target": self.target,
+            "seed": int(self.seed),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MethodRunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(**payload)
+
 
 class ContinualEvaluator:
     """Drives any :class:`ContinualMethod` through the streaming protocol.
+
+    Every :meth:`run` is a pure function of its inputs: the method and the
+    model are deep-copied before the run, so neither in-place model mutation
+    nor method-internal state (buffers, RNGs, masks) can leak between runs.
+    This is what makes results independent of run order and lets the parallel
+    runner (:mod:`repro.eval.parallel`) execute runs in any process, in any
+    order, with identical output.
 
     Parameters
     ----------
@@ -52,7 +88,9 @@ class ContinualEvaluator:
         Number of stream batches the target domain is divided into (10 in the
         paper; benchmarks may use fewer for speed).
     seed:
-        Seed for batch splitting and any method-internal randomness.
+        Seed for batch splitting and any method-internal randomness.  The
+        per-run generator is derived through :class:`numpy.random.SeedSequence`
+        so parallel shards reproduce the serial stream exactly.
     """
 
     def __init__(self, num_batches: int = 10, seed: int = 0):
@@ -61,13 +99,18 @@ class ContinualEvaluator:
         self.num_batches = num_batches
         self.seed = seed
 
+    def _rng(self) -> np.random.Generator:
+        # default_rng(SeedSequence(seed)) yields the same stream as
+        # default_rng(seed); spelling it out documents that run-level
+        # randomness is SeedSequence-derived (spawn-safe across processes).
+        return np.random.default_rng(np.random.SeedSequence(self.seed))
+
     def build_scenario(
         self, dataset: MultiDomainDataset, source: str, target: str
     ) -> StreamScenario:
         """Construct the stream scenario for a (source, target) pair."""
-        rng = np.random.default_rng(self.seed)
         return build_stream_scenario(
-            dataset, source, target, num_batches=self.num_batches, rng=rng
+            dataset, source, target, num_batches=self.num_batches, rng=self._rng()
         )
 
     def run(
@@ -81,10 +124,21 @@ class ContinualEvaluator:
 
         The method is prepared on the scenario's source domain, then for every
         stream batch it adapts and is evaluated on that batch's test slice.
+        The caller's ``method`` and ``model`` objects are never mutated: the
+        run operates on private deep copies.
         """
-        rng = np.random.default_rng(self.seed)
+        method = copy.deepcopy(method)
+        model = copy.deepcopy(model)
+        rng = self._rng()
         method.prepare(scenario.source, model, bits, rng=rng)
-        result = MethodRunResult(method=method.name, scenario=scenario.description, bits=bits)
+        result = MethodRunResult(
+            method=method.name,
+            scenario=scenario.description,
+            bits=bits,
+            source=scenario.source.domain,
+            target=scenario.target_name,
+            seed=self.seed,
+        )
         for batch in scenario.batches:
             start = time.perf_counter()
             method.adapt(batch.data)
@@ -102,8 +156,10 @@ class ContinualEvaluator:
     ) -> Dict[str, Dict[int, MethodRunResult]]:
         """Run several methods across several bit-widths on the same scenario.
 
-        Returns ``results[method_name][bits]``.  Every run starts from the
-        same frozen full-precision model so comparisons are apples to apples.
+        Returns ``results[method_name][bits]``.  Because :meth:`run` deep
+        copies the method and the model, every run starts from the same frozen
+        full-precision model and a pristine method instance — results do not
+        depend on the order the (method, bits) grid is traversed.
         """
         results: Dict[str, Dict[int, MethodRunResult]] = {}
         for method in methods:

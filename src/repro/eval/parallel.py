@@ -1,0 +1,325 @@
+"""Parallel sharded stream evaluation (one worker process per stream).
+
+The paper's headline experiments (Tables 5–9, Fig. 7) sweep every ordered
+(source → target) domain pair across methods and bit-widths.  Each such run is
+independent of every other run, which makes the sweep embarrassingly parallel
+— the multi-user serving scenario of the north star is exactly many such
+streams being calibrated concurrently.  This module shards the sweep across
+worker processes:
+
+* :class:`RunSpec` — a picklable description of one run (method factory +
+  scenario pair + bit-width + seed).  Factories must be picklable under the
+  ``spawn`` start method: top-level functions, classes, or
+  :func:`functools.partial` of either — not lambdas or closures.
+* :class:`ParallelEvaluator` — fans a list of specs out over a
+  ``multiprocessing`` pool.  With ``workers=1`` it runs in-process through the
+  exact same code path as :class:`~repro.eval.continual.ContinualEvaluator`,
+  so serial and sharded sweeps are bit-identical.
+* :func:`merge_results` / :func:`results_to_table` — aggregation helpers that
+  make sharded output a drop-in replacement for the serial table builders.
+
+Determinism
+-----------
+A run's result is a pure function of its spec: the worker rebuilds the stream
+scenario from ``(source, target, seed, num_batches)``, constructs a fresh
+method from the factory, and derives every random draw from a
+``numpy.random.SeedSequence`` rooted at ``spec.seed``.  Worker count and work
+distribution therefore never change results — only wall-clock time.  (Timing
+fields such as ``adapt_seconds`` are measurements, not derived values, and
+naturally vary between machines.)
+
+Workers inherit the parent's active compute dtype (:mod:`repro.runtime`), so
+a float64-pinned sweep stays float64 inside the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import runtime
+from repro.baselines.base import ContinualMethod
+from repro.data.dataset import MultiDomainDataset
+from repro.eval.continual import ContinualEvaluator, MethodRunResult
+from repro.eval.tables import ResultsTable
+from repro.nn.module import Module
+
+#: Environment variable consulted when ``workers`` is not given explicitly.
+WORKERS_ENV_VAR = "REPRO_EVAL_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None, default: int = 1) -> int:
+    """Resolve the worker count: explicit argument, else ``REPRO_EVAL_WORKERS``, else ``default``."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError as error:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from error
+        else:
+            workers = default
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A picklable description of one (method, stream, bit-width) run.
+
+    Attributes
+    ----------
+    method:
+        Display name used as the table row (the method's own ``name`` is
+        recorded on the result; this label keys the spec).
+    factory:
+        Zero-argument callable returning a fresh :class:`ContinualMethod`.
+        Must survive pickling under the ``spawn`` start method — use a
+        top-level function/class or ``functools.partial``, never a lambda.
+    source, target:
+        Domain names of the stream scenario within the sweep's dataset.
+    bits:
+        Deployment bit-width.
+    seed:
+        Root seed of the run; scenario construction and method randomness are
+        all derived from it via ``SeedSequence``, so equal specs produce equal
+        results in any process.
+    """
+
+    method: str
+    factory: Callable[[], ContinualMethod]
+    source: str
+    target: str
+    bits: int
+    seed: int = 0
+
+    def describe(self) -> str:
+        """Compact human-readable label, e.g. ``'ER 4b Subj. 1→Subj. 2 #0'``."""
+        return f"{self.method} {self.bits}b {self.source}→{self.target} #{self.seed}"
+
+
+def derive_seeds(base_seed: int, count: int) -> List[int]:
+    """``count`` independent seeds spawned from ``base_seed`` via ``SeedSequence``.
+
+    Use this to give repeated runs of the same (method, pair, bits) cell
+    statistically independent randomness while keeping the whole sweep a pure
+    function of ``base_seed``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(base_seed).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint32)[0]) for child in children]
+
+
+def build_specs(
+    methods: Mapping[str, Callable[[], ContinualMethod]],
+    pairs: Sequence[Tuple[str, str]],
+    bits_list: Sequence[int],
+    seed: int = 0,
+    seeds_per_cell: int = 1,
+) -> List[RunSpec]:
+    """Cross product of methods × scenario pairs × bit-widths as a spec list.
+
+    With ``seeds_per_cell > 1`` every cell is replicated under independent
+    seeds (derived via :func:`derive_seeds`); with the default 1 every spec
+    carries ``seed`` unchanged, matching the serial benchmark protocol.
+    """
+    if seeds_per_cell < 1:
+        raise ValueError("seeds_per_cell must be >= 1")
+    cell_seeds = [seed] if seeds_per_cell == 1 else derive_seeds(seed, seeds_per_cell)
+    return [
+        RunSpec(method=name, factory=factory, source=source, target=target,
+                bits=bits, seed=cell_seed)
+        for source, target in pairs
+        for name, factory in methods.items()
+        for bits in bits_list
+        for cell_seed in cell_seeds
+    ]
+
+
+def run_spec(
+    spec: RunSpec,
+    dataset: MultiDomainDataset,
+    model: Module,
+    num_batches: int,
+) -> MethodRunResult:
+    """Execute one spec — the pure function both serial and parallel paths share."""
+    evaluator = ContinualEvaluator(num_batches=num_batches, seed=spec.seed)
+    scenario = evaluator.build_scenario(dataset, spec.source, spec.target)
+    result = evaluator.run(spec.factory(), scenario, model, bits=spec.bits)
+    # The table row is keyed by the spec's label (method.name may add ablation
+    # suffixes; the sweep author's label wins for aggregation).
+    return replace(result, method=spec.method)
+
+
+# --------------------------------------------------------------- worker state
+# Sent once per worker through the pool initializer instead of once per spec,
+# so the dataset and model are pickled ``workers`` times, not ``len(specs)``
+# times.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(
+    dataset: MultiDomainDataset, model: Module, num_batches: int, dtype_name: str
+) -> None:
+    # A spawned child starts from the repo-default dtype; inherit the parent's
+    # active dtype before any computation touches runtime.asarray.
+    runtime.set_dtype(dtype_name)
+    _WORKER_STATE["dataset"] = dataset
+    _WORKER_STATE["model"] = model
+    _WORKER_STATE["num_batches"] = num_batches
+
+
+def _worker_run(spec: RunSpec) -> MethodRunResult:
+    return run_spec(
+        spec,
+        _WORKER_STATE["dataset"],
+        _WORKER_STATE["model"],
+        _WORKER_STATE["num_batches"],
+    )
+
+
+class ParallelEvaluator:
+    """Fans :class:`RunSpec` work queues out over ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    num_batches:
+        Stream batches per scenario (forwarded to every run's
+        :class:`ContinualEvaluator`).
+    workers:
+        Worker process count.  ``None`` consults the ``REPRO_EVAL_WORKERS``
+        environment variable and falls back to 1.  ``workers=1`` executes
+        in-process (no pool) through the identical pure-run code path, so its
+        results are bit-identical to the serial evaluator.
+    mp_context:
+        ``multiprocessing`` start method; ``"spawn"`` (default) is safe on
+        every platform and never inherits parent state by accident.  ``"fork"``
+        is faster to start on Linux and equally deterministic here because
+        workers receive all state explicitly.
+    """
+
+    def __init__(
+        self,
+        num_batches: int = 10,
+        workers: Optional[int] = None,
+        mp_context: str = "spawn",
+    ):
+        if num_batches <= 0:
+            raise ValueError("num_batches must be positive")
+        self.num_batches = num_batches
+        self.workers = resolve_workers(workers)
+        self.mp_context = mp_context
+
+    def _validate(self, specs: Sequence[RunSpec], dataset: MultiDomainDataset) -> None:
+        """Fail fast in the parent on malformed specs (workers give worse errors)."""
+        names = set(dataset.domain_names)
+        for spec in specs:
+            if spec.source not in names or spec.target not in names:
+                raise ValueError(
+                    f"spec {spec.describe()!r} references unknown domains; "
+                    f"dataset has {sorted(names)}"
+                )
+            if spec.source == spec.target:
+                raise ValueError(f"spec {spec.describe()!r} has source == target")
+            if spec.bits <= 0:
+                raise ValueError(f"spec {spec.describe()!r} has non-positive bits")
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        dataset: MultiDomainDataset,
+        model: Module,
+    ) -> List[MethodRunResult]:
+        """Execute every spec and return results in spec order.
+
+        Output order — and every value in it — is independent of the worker
+        count; only wall-clock time changes.
+        """
+        specs = list(specs)
+        self._validate(specs, dataset)
+        if not specs:
+            return []
+        if self.workers == 1:
+            return [run_spec(s, dataset, model, self.num_batches) for s in specs]
+        context = multiprocessing.get_context(self.mp_context)
+        pool_size = min(self.workers, len(specs))
+        dtype_name = str(runtime.get_dtype())
+        with context.Pool(
+            processes=pool_size,
+            initializer=_worker_init,
+            initargs=(dataset, model, self.num_batches, dtype_name),
+        ) as pool:
+            # chunksize=1: specs are coarse-grained (a whole stream each), so
+            # per-task dispatch overhead is negligible and load balance wins.
+            return pool.map(_worker_run, specs, chunksize=1)
+
+    def run_to_table(
+        self,
+        specs: Sequence[RunSpec],
+        dataset: MultiDomainDataset,
+        model: Module,
+        title: str = "",
+        metric: str = "average_accuracy",
+    ) -> ResultsTable:
+        """Convenience: :meth:`run` then :func:`results_to_table`."""
+        return results_to_table(self.run(specs, dataset, model), title=title, metric=metric)
+
+
+def merge_results(
+    *shards: Iterable[MethodRunResult],
+) -> List[MethodRunResult]:
+    """Merge result shards (e.g. from several hosts) into one canonical list.
+
+    Results are ordered by (method, scenario, bits, seed) so the merged list
+    does not depend on how the sweep was sharded.  Duplicates of the same run
+    identity are collapsed — which makes re-merging overlapping shards
+    idempotent — but only if they agree on the measured accuracies: two hosts
+    reporting *different* numbers for the same spec means the determinism
+    guarantee was broken somewhere (e.g. mismatched ``REPRO_COMPUTE_DTYPE``),
+    and that is raised instead of silently averaged into the tables.
+    """
+    merged: Dict[tuple, MethodRunResult] = {}
+    for shard in shards:
+        for result in shard:
+            key = (result.method, result.scenario, result.bits, result.seed)
+            existing = merged.setdefault(key, result)
+            if existing.batch_accuracies != result.batch_accuracies:
+                raise ValueError(
+                    f"conflicting results for run {key}: shards report "
+                    f"accuracies {existing.batch_accuracies} vs "
+                    f"{result.batch_accuracies} — runs of the same spec must "
+                    "be bit-identical (check compute dtype and code versions "
+                    "across hosts)"
+                )
+    return sorted(merged.values(), key=lambda r: (r.method, r.scenario, r.bits, r.seed))
+
+
+def results_to_table(
+    results: Iterable[MethodRunResult],
+    title: str = "",
+    metric: str = "average_accuracy",
+    column: Optional[Callable[[MethodRunResult], str]] = None,
+) -> ResultsTable:
+    """Aggregate run results into a :class:`ResultsTable`.
+
+    ``metric`` names an attribute/property of :class:`MethodRunResult`
+    (``average_accuracy``, ``average_adapt_seconds``, ``memory_bytes``, …).
+    ``column`` maps a result to its table column; the default is the paper's
+    bit-width columns (``"4-bit"``).  Repeated (row, column) cells — several
+    domain pairs or seeds — are averaged by the table, exactly like the
+    serial builders.
+    """
+    if column is None:
+        column = lambda result: f"{result.bits}-bit"
+    table = ResultsTable(title=title)
+    for result in results:
+        table.add(result.method, column(result), float(getattr(result, metric)))
+    return table

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 
 def format_table(
@@ -14,11 +17,19 @@ def format_table(
 ) -> str:
     """Render a list of rows as an aligned monospace table.
 
-    Floats are formatted with ``float_format``; all other values with ``str``.
+    Real-valued cells — python floats and any :class:`numbers.Real` scalar,
+    including numpy floating types such as ``np.float32`` (which is *not* a
+    ``float`` subclass) — are formatted with ``float_format``.  Integers and
+    booleans keep their exact representation; everything else renders with
+    ``str``.
     """
     def render(value: object) -> str:
-        if isinstance(value, float):
-            return float_format.format(value)
+        if isinstance(value, (bool, np.bool_)):
+            return str(bool(value))
+        if isinstance(value, numbers.Integral):
+            return str(int(value))
+        if isinstance(value, (numbers.Real, np.floating)):
+            return float_format.format(float(value))
         return str(value)
 
     rendered = [[render(value) for value in row] for row in rows]

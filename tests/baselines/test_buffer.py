@@ -72,3 +72,60 @@ class TestReplayBuffer:
         buffer = ReplayBuffer(capacity=capacity, rng=rng)
         buffer.add_batch(rng.normal(size=(total, 2)), rng.integers(0, 3, total))
         assert len(buffer) == min(capacity, total)
+
+    def test_occupancy_bounded_at_every_insertion(self):
+        """Capacity holds mid-stream, not just at the end, and ``seen`` counts
+        every offered example."""
+        rng = np.random.default_rng(0)
+        buffer = ReplayBuffer(capacity=7, rng=rng)
+        for step in range(1, 41):
+            buffer.add_batch(rng.normal(size=(1, 2)), rng.integers(0, 3, 1))
+            assert len(buffer) <= 7
+            assert buffer.seen == step
+        assert len(buffer) == 7
+
+    def test_long_stream_keeps_early_examples_represented(self):
+        """Reservoir sampling is uniform over the stream: after a long stream,
+        the retained fraction from the first half is close to one half."""
+        rng = np.random.default_rng(42)
+        capacity, total = 64, 2000
+        buffer = ReplayBuffer(capacity=capacity, rng=rng)
+        markers = np.arange(total, dtype=float).reshape(total, 1)
+        buffer.add_batch(markers, np.zeros(total, dtype=int))
+        stored = buffer.stored_features().ravel()
+        early = int(np.sum(stored < total / 2))
+        # Binomial(64, 0.5): mean 32, std 4 — a 4-sigma band on a fixed seed.
+        assert 16 <= early <= 48
+
+    def test_stored_logits_are_defensive_copies_on_insert(self, rng):
+        buffer = ReplayBuffer(capacity=4, rng=rng)
+        logits = rng.normal(size=(2, 3))
+        original = logits.copy()
+        buffer.add_batch(rng.normal(size=(2, 2)), rng.integers(0, 3, 2), logits)
+        logits += 100.0  # caller mutates its array after insertion
+        for stored, reference in zip(buffer.stored_logits(), original):
+            np.testing.assert_array_equal(stored, reference)
+
+    def test_stored_logits_returns_copies(self, rng):
+        buffer = ReplayBuffer(capacity=2, rng=rng)
+        buffer.add_batch(rng.normal(size=(2, 2)), rng.integers(0, 3, 2),
+                         rng.normal(size=(2, 3)))
+        first_read = buffer.stored_logits()
+        first_read[0] += 100.0  # mutating the returned rows must not leak back
+        second_read = buffer.stored_logits()
+        assert not np.allclose(first_read[0], second_read[0])
+
+    def test_set_all_logits_copies_and_validates(self, rng):
+        buffer = ReplayBuffer(capacity=3, rng=rng)
+        buffer.add_batch(rng.normal(size=(3, 2)), rng.integers(0, 3, 3))
+        replacement = rng.normal(size=(3, 4))
+        buffer.set_all_logits(replacement)
+        replacement += 100.0
+        for stored in buffer.stored_logits():
+            assert np.all(stored < 50.0)
+        with pytest.raises(ValueError):
+            buffer.set_all_logits(rng.normal(size=(2, 4)))
+
+    def test_stored_features_requires_content(self, rng):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=3, rng=rng).stored_features()

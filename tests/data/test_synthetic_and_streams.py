@@ -140,6 +140,54 @@ class TestStreamScenario:
         with pytest.raises(ValueError):
             build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=10_000, rng=rng)
 
+    def test_same_seed_reproduces_scenario(self):
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        a = build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=4,
+                                  rng=np.random.default_rng(7))
+        b = build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=4,
+                                  rng=np.random.default_rng(7))
+        for batch_a, batch_b in zip(a.batches, b.batches):
+            np.testing.assert_array_equal(batch_a.data.features, batch_b.data.features)
+            np.testing.assert_array_equal(batch_a.test.features, batch_b.test.features)
+
+    def test_test_slices_independent_of_train_split(self):
+        """The train and test shuffles consume independent child generators, so
+        shrinking the target train split must not reshuffle which test slice
+        batch ``i`` is scored on (regression for the shared-generator bug)."""
+        from repro.data.dataset import DomainDataset, MultiDomainDataset
+
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        target = data["Subj. 2"]
+        truncated_target = DomainDataset(
+            domain=target.domain,
+            train=target.train.subset(np.arange(len(target.train) - 8)),
+            val=target.val,
+            test=target.test,
+        )
+        modified = MultiDomainDataset(
+            name=data.name,
+            domains={"Subj. 1": data["Subj. 1"], "Subj. 2": truncated_target},
+        )
+        original = build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=4,
+                                         rng=np.random.default_rng(3))
+        changed = build_stream_scenario(modified, "Subj. 1", "Subj. 2", num_batches=4,
+                                        rng=np.random.default_rng(3))
+        for batch_a, batch_b in zip(original.batches, changed.batches):
+            np.testing.assert_array_equal(batch_a.test.features, batch_b.test.features)
+            np.testing.assert_array_equal(batch_a.test.labels, batch_b.test.labels)
+
+    def test_test_permutation_stable_across_num_batches(self):
+        """The underlying test permutation depends only on the seed: with more
+        stream batches the concatenated slice order is unchanged."""
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        coarse = build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=2,
+                                       rng=np.random.default_rng(5))
+        fine = build_stream_scenario(data, "Subj. 1", "Subj. 2", num_batches=5,
+                                     rng=np.random.default_rng(5))
+        coarse_order = np.concatenate([b.test.features for b in coarse.batches])
+        fine_order = np.concatenate([b.test.features for b in fine.batches])
+        np.testing.assert_array_equal(coarse_order, fine_order)
+
     def test_scenario_pairs_truncation(self):
         data = make_dsa_surrogate(seed=0, config=SMALL_TS)
         assert len(scenario_pairs(data)) == 6

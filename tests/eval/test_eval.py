@@ -68,6 +68,23 @@ class TestTables:
         assert "1.235" in text
         assert all(len(line) == len(lines[1]) for line in lines[1:])
 
+    def test_format_table_numpy_scalars_use_float_format(self):
+        """np.float32 is not a float subclass; it must still honour float_format."""
+        text = format_table(
+            ["col"],
+            [[np.float32(0.123456)], [np.float64(0.654321)], [np.mean([0.25, 0.75])]],
+        )
+        assert "0.123" in text and "0.654" in text and "0.500" in text
+        # Full reprs like '0.12345600128173828' must never leak through.
+        assert "0.1234560" not in text
+
+    def test_format_table_integers_and_bools_keep_exact_repr(self):
+        text = format_table(["col"], [[np.int64(8)], [3], [True], [np.bool_(False)]])
+        lines = [line.strip() for line in text.splitlines()]
+        assert "8" in lines and "3" in lines
+        assert "True" in lines and "False" in lines
+        assert "8.000" not in text
+
     def test_results_table_averages_repeated_cells(self):
         table = ResultsTable(title="demo")
         table.add("QCore", "2-bit", 0.5)
@@ -129,6 +146,34 @@ class TestContinualEvaluator:
         evaluator.run(qcore, scenario, model, bits=2)
         for name, values in model.state_dict().items():
             np.testing.assert_allclose(before[name], values)
+
+    def test_run_does_not_mutate_caller_method(self, setup):
+        """run() operates on a deep copy: the caller's instance stays pristine."""
+        data, model = setup
+        evaluator = ContinualEvaluator(num_batches=2, seed=0)
+        scenario = evaluator.build_scenario(data, "Subj. 1", "Subj. 2")
+        er = ER(buffer_size=8, adapt_epochs=1, lr=0.05, batch_size=16,
+                initial_calibration_epochs=2, seed=0)
+        evaluator.run(er, scenario, model, bits=4)
+        assert er.qmodel is None and er.buffer is None
+
+    def test_run_many_results_independent_of_run_order(self, setup):
+        """Regression for shared-state reuse: re-preparing one method instance
+        across bit-widths must not make results depend on traversal order."""
+        data, model = setup
+        evaluator = ContinualEvaluator(num_batches=2, seed=0)
+        scenario = evaluator.build_scenario(data, "Subj. 1", "Subj. 2")
+
+        def sweep(bits_list):
+            method = ER(buffer_size=8, adapt_epochs=1, lr=0.05, batch_size=16,
+                        initial_calibration_epochs=2, seed=0)
+            return evaluator.run_many([method], scenario, model, bits_list)["ER"]
+
+        ascending = sweep((2, 4))
+        descending = sweep((4, 2))
+        for bits in (2, 4):
+            assert ascending[bits].batch_accuracies == descending[bits].batch_accuracies
+            assert ascending[bits].memory_bytes == descending[bits].memory_bytes
 
     def test_ablation_names(self):
         assert QCoreMethod(use_bitflip=False).name == "QCore-NoBF"

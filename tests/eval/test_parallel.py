@@ -1,0 +1,237 @@
+"""Tests for the parallel sharded stream evaluation subsystem."""
+
+from __future__ import annotations
+
+import functools
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import ER
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.eval import (
+    ContinualEvaluator,
+    MethodRunResult,
+    ParallelEvaluator,
+    RunSpec,
+    build_specs,
+    derive_seeds,
+    merge_results,
+    resolve_workers,
+    results_to_table,
+    run_spec,
+)
+from repro.models import InceptionTimeSurrogate
+from repro.nn.training import train_classifier
+
+TINY_TS = SyntheticTimeSeriesConfig(
+    num_classes=4, num_domains=3, channels=3, length=16,
+    train_per_class=10, val_per_class=2, test_per_class=4,
+)
+
+#: Spawn-safe method factory (module level so worker processes can unpickle it).
+ER_FACTORY = functools.partial(
+    ER, buffer_size=8, adapt_epochs=1, lr=0.05, batch_size=16,
+    initial_calibration_epochs=2, seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    rng = np.random.default_rng(0)
+    data = make_dsa_surrogate(seed=0, config=TINY_TS)
+    model = InceptionTimeSurrogate(3, TINY_TS.num_classes, branch_channels=4, depth=1, rng=rng)
+    train_classifier(
+        model, nn.SGD(model.parameters(), lr=0.05, momentum=0.9),
+        data["Subj. 1"].train.features, data["Subj. 1"].train.labels,
+        epochs=5, batch_size=16, rng=rng,
+    )
+    specs = build_specs(
+        {"ER": ER_FACTORY},
+        pairs=[("Subj. 1", "Subj. 2"), ("Subj. 1", "Subj. 3")],
+        bits_list=(2, 4),
+        seed=0,
+    )
+    return data, model, specs
+
+
+def _identity(result: MethodRunResult) -> tuple:
+    """Everything except wall-clock measurements."""
+    return (
+        result.method, result.scenario, result.bits, result.source,
+        result.target, result.seed, tuple(result.batch_accuracies),
+        result.memory_bytes,
+    )
+
+
+class TestSpecs:
+    def test_build_specs_cross_product(self, sweep_setup):
+        _, _, specs = sweep_setup
+        assert len(specs) == 2 * 2  # pairs x bits
+        assert {s.bits for s in specs} == {2, 4}
+        assert all(s.method == "ER" and s.seed == 0 for s in specs)
+
+    def test_build_specs_seed_replicates(self):
+        specs = build_specs(
+            {"ER": ER_FACTORY}, [("a", "b")], (4,), seed=7, seeds_per_cell=3
+        )
+        assert len(specs) == 3
+        assert len({s.seed for s in specs}) == 3
+
+    def test_build_specs_rejects_bad_replicates(self):
+        with pytest.raises(ValueError):
+            build_specs({"ER": ER_FACTORY}, [("a", "b")], (4,), seeds_per_cell=0)
+
+    def test_specs_are_picklable(self, sweep_setup):
+        _, _, specs = sweep_setup
+        restored = pickle.loads(pickle.dumps(specs))
+        assert [s.describe() for s in restored] == [s.describe() for s in specs]
+        assert isinstance(restored[0].factory(), ER)
+
+    def test_derive_seeds_deterministic_and_distinct(self):
+        a = derive_seeds(0, 8)
+        b = derive_seeds(0, 8)
+        assert a == b
+        assert len(set(a)) == 8
+        assert derive_seeds(1, 8) != a
+
+    def test_derive_seeds_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            derive_seeds(0, -1)
+
+
+class TestResolveWorkers:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EVAL_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestParallelEvaluator:
+    def test_rejects_bad_num_batches(self):
+        with pytest.raises(ValueError):
+            ParallelEvaluator(num_batches=0)
+
+    def test_validates_unknown_domain(self, sweep_setup):
+        data, model, _ = sweep_setup
+        bad = [RunSpec("ER", ER_FACTORY, "Subj. 1", "Subj. 99", bits=4)]
+        with pytest.raises(ValueError, match="unknown domains"):
+            ParallelEvaluator(num_batches=2, workers=1).run(bad, data, model)
+
+    def test_validates_source_equals_target(self, sweep_setup):
+        data, model, _ = sweep_setup
+        bad = [RunSpec("ER", ER_FACTORY, "Subj. 1", "Subj. 1", bits=4)]
+        with pytest.raises(ValueError, match="source == target"):
+            ParallelEvaluator(num_batches=2, workers=1).run(bad, data, model)
+
+    def test_validates_bits(self, sweep_setup):
+        data, model, _ = sweep_setup
+        bad = [RunSpec("ER", ER_FACTORY, "Subj. 1", "Subj. 2", bits=0)]
+        with pytest.raises(ValueError, match="bits"):
+            ParallelEvaluator(num_batches=2, workers=1).run(bad, data, model)
+
+    def test_empty_spec_list(self, sweep_setup):
+        data, model, _ = sweep_setup
+        assert ParallelEvaluator(num_batches=2, workers=1).run([], data, model) == []
+
+    def test_workers1_bit_identical_to_serial_evaluator(self, sweep_setup):
+        data, model, specs = sweep_setup
+        serial_ev = ContinualEvaluator(num_batches=3, seed=0)
+        serial = []
+        for spec in specs:
+            scenario = serial_ev.build_scenario(data, spec.source, spec.target)
+            serial.append(serial_ev.run(spec.factory(), scenario, model, bits=spec.bits))
+        parallel = ParallelEvaluator(num_batches=3, workers=1).run(specs, data, model)
+        assert [_identity(r) for r in parallel] == [_identity(r) for r in serial]
+
+    def test_spawn_workers_match_serial(self, sweep_setup):
+        """Two spawn workers reproduce the in-process results bit-identically
+        (including the compute dtype, which workers inherit from the parent)."""
+        data, model, specs = sweep_setup
+        serial = ParallelEvaluator(num_batches=3, workers=1).run(specs, data, model)
+        sharded = ParallelEvaluator(num_batches=3, workers=2).run(specs, data, model)
+        assert [_identity(r) for r in sharded] == [_identity(r) for r in serial]
+
+    def test_run_spec_is_order_independent(self, sweep_setup):
+        """A run is a pure function of its spec: executing the queue reversed
+        yields the same per-spec results."""
+        data, model, specs = sweep_setup
+        evaluator = ParallelEvaluator(num_batches=2, workers=1)
+        forward = evaluator.run(specs, data, model)
+        backward = evaluator.run(list(reversed(specs)), data, model)
+        assert [_identity(r) for r in reversed(backward)] == [_identity(r) for r in forward]
+
+    def test_run_spec_records_spec_metadata(self, sweep_setup):
+        data, model, specs = sweep_setup
+        result = run_spec(specs[0], data, model, num_batches=2)
+        assert result.source == "Subj. 1"
+        assert result.target == "Subj. 2"
+        assert result.bits == 2
+        assert result.seed == 0
+        assert len(result.batch_accuracies) == 2
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def results(self, sweep_setup):
+        data, model, specs = sweep_setup
+        return ParallelEvaluator(num_batches=2, workers=1).run(specs, data, model)
+
+    def test_merge_is_shard_order_independent(self, results):
+        a = merge_results(results[:2], results[2:])
+        b = merge_results(results[2:], results[:2])
+        assert [_identity(r) for r in a] == [_identity(r) for r in b]
+
+    def test_merge_dedupes_overlapping_shards(self, results):
+        merged = merge_results(results, results[:3])
+        assert len(merged) == len(results)
+
+    def test_merge_rejects_conflicting_duplicates(self, results):
+        """Same run identity with different accuracies means the determinism
+        guarantee was broken on some shard — surfaced, never averaged away."""
+        import dataclasses
+
+        corrupted = dataclasses.replace(
+            results[0], batch_accuracies=[0.0] * len(results[0].batch_accuracies)
+        )
+        with pytest.raises(ValueError, match="conflicting results"):
+            merge_results(results, [corrupted])
+
+    def test_results_to_table_matches_serial_builder(self, results):
+        from repro.eval import ResultsTable
+
+        table = results_to_table(results, title="t")
+        reference = ResultsTable(title="t")
+        for result in results:
+            reference.add(result.method, f"{result.bits}-bit", result.average_accuracy)
+        assert table.as_dict() == reference.as_dict()
+
+    def test_results_to_table_custom_metric_and_column(self, results):
+        table = results_to_table(
+            results, metric="memory_bytes", column=lambda r: r.target
+        )
+        assert set(table.columns) == {"Subj. 2", "Subj. 3"}
+        assert all(v > 0 for row in table.as_dict().values() for v in row.values())
+
+    def test_round_trip_through_json_dicts(self, results):
+        restored = [MethodRunResult.from_dict(r.to_dict()) for r in results]
+        assert [_identity(r) for r in restored] == [_identity(r) for r in results]
+        assert restored[0].average_accuracy == results[0].average_accuracy
