@@ -25,6 +25,9 @@ The package is organised as follows:
     Alternative coreset-construction strategies (Table 8 of the paper).
 ``repro.eval``
     Continual-learning evaluation protocol, metrics and result tables.
+``repro.fleet``
+    Fleet calibration: batched bit-flip inference across many deployed
+    models, with worker-pool sharding for multi-core hosts.
 """
 
 __version__ = "1.0.0"

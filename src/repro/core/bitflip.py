@@ -136,6 +136,18 @@ class FeatureNormalizer:
             return
         self._stats[name] = self._moments(features)
 
+    def moments(self, name: str) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The fitted ``(mean, std)`` for a parameter, or ``None`` if unfitted.
+
+        The batched fleet path uses this to pre-assemble a whole group's
+        normalisation template instead of transforming block by block.
+        """
+        return self._stats.get(name)
+
+    def covers(self, names) -> bool:
+        """Whether statistics are fitted for *every* one of ``names``."""
+        return all(name in self._stats for name in names)
+
     def transform(self, name: str, features: np.ndarray) -> np.ndarray:
         """Standardise ``features`` with the stored statistics.
 
@@ -254,6 +266,17 @@ class FusedParameterFeatures:
         for index, name in enumerate(self.names):
             yield name, values[self.offsets[index] : self.offsets[index + 1]]
 
+    @property
+    def num_rows(self) -> int:
+        """Total number of parameter rows across every block.
+
+        The BF network is row-wise, so fused matrices of several models can be
+        vertically stacked and served by one forward; the fleet calibrator
+        (:mod:`repro.fleet`) uses this row count to scatter the batched
+        predictions back per device.
+        """
+        return int(self.offsets[-1])
+
 
 def extract_parameter_features_fused(
     qmodel: QuantizedModel,
@@ -268,6 +291,11 @@ def extract_parameter_features_fused(
     each block matches the per-tensor extractor exactly.
     """
     blocks = _normalized_feature_blocks(qmodel, features_batch, normalizer, fit_normalizer)
+    return _assemble_fused(blocks)
+
+
+def _assemble_fused(blocks: List[Tuple[str, np.ndarray]]) -> FusedParameterFeatures:
+    """Concatenate named feature blocks into the fused layout."""
     if not blocks:
         return FusedParameterFeatures(
             names=[], offsets=np.zeros(1, dtype=np.int64),
@@ -278,6 +306,21 @@ def extract_parameter_features_fused(
     offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
     matrix = np.concatenate([features for _, features in blocks], axis=0)
     return FusedParameterFeatures(names=names, offsets=offsets, matrix=matrix)
+
+
+def extract_parameter_features_raw(
+    qmodel: QuantizedModel, features_batch: np.ndarray
+) -> FusedParameterFeatures:
+    """Fused layout of *unnormalised* per-parameter features.
+
+    Same forward pass, feature math, block order and row order as
+    :func:`extract_parameter_features_fused`, but normalisation is left to the
+    caller.  The fleet calibrator uses this to apply one batched affine
+    transform (assembled from the fitted normaliser moments) across every
+    device's blocks at once — elementwise identical to transforming each
+    block separately.
+    """
+    return _assemble_fused(list(_iter_raw_parameter_features(qmodel, features_batch)))
 
 
 class BitFlipNetwork(Module):
@@ -655,11 +698,16 @@ class BitFlipCalibrator:
             for name, feats in feature_map.items()
         }
 
-    def _propose_flips(
-        self, qmodel: QuantizedModel, data: Dataset
+    def _select_flips(
+        self, qmodel: QuantizedModel, per_name: Dict[str, Tuple[np.ndarray, np.ndarray]]
     ) -> Tuple[Dict[str, np.ndarray], int]:
-        """One BF inference pass: the most confident flips, capped per iteration."""
-        per_name = self._predict_per_name(qmodel, data)
+        """Keep the most confident non-zero proposals, capped per iteration.
+
+        ``per_name`` maps parameter names to ``(flips, confidence)`` arrays as
+        produced by :meth:`_predict_per_name` — or by a batched fleet-wide BF
+        inference that scattered its rows back per device (:mod:`repro.fleet`);
+        the selection logic is shared so both paths accept identical flips.
+        """
         all_confidences = []
         total_parameters = 0
         for name, (flips, confidence) in per_name.items():
@@ -684,6 +732,66 @@ class BitFlipCalibrator:
             flip_map[name] = selected.reshape(qmodel.qtensors[name].codes.shape)
         return flip_map, applied
 
+    def _propose_flips(
+        self, qmodel: QuantizedModel, data: Dataset
+    ) -> Tuple[Dict[str, np.ndarray], int]:
+        """One BF inference pass: the most confident flips, capped per iteration."""
+        return self._select_flips(qmodel, self._predict_per_name(qmodel, data))
+
+    def begin_calibration(
+        self, qmodel: QuantizedModel, data: Dataset
+    ) -> Tuple[BitFlipCalibrationStats, float]:
+        """Pre-loop setup shared by :meth:`calibrate` and the fleet calibrator.
+
+        Refreshes the BatchNorm running statistics and measures the initial
+        pool accuracy (when validation is enabled).  Returns the stats record
+        the calibration loop will fill and the starting pool accuracy.
+        """
+        if len(data) == 0:
+            raise ValueError("calibration data must contain at least one example")
+        stats = BitFlipCalibrationStats(epochs=self.epochs)
+        if self.batchnorm_refresh_passes > 0:
+            self._refresh_batchnorm_statistics(qmodel, data)
+        pool_accuracy = (
+            qmodel.evaluate(data.features, data.labels) if self.validate else 0.0
+        )
+        return stats, pool_accuracy
+
+    def calibration_step(
+        self,
+        qmodel: QuantizedModel,
+        data: Dataset,
+        per_name: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        stats: BitFlipCalibrationStats,
+        pool_accuracy: float,
+        epoch: int,
+        epoch_callback=None,
+    ) -> float:
+        """Apply one iteration's predictions: select, flip, validate, revert.
+
+        Everything after the BF inference of one calibration iteration —
+        shared verbatim between the per-device loop in :meth:`calibrate` and
+        the batched fleet path, which computes ``per_name`` from a single
+        fleet-wide inference.  Returns the (possibly updated) pool accuracy.
+        """
+        flips, flip_count = self._select_flips(qmodel, per_name)
+        snapshot = qmodel.snapshot_codes() if self.validate else None
+        if flips:
+            qmodel.apply_flips(flips)
+        accepted = True
+        if self.validate and flips:
+            new_accuracy = qmodel.evaluate(data.features, data.labels)
+            if new_accuracy + 1e-9 < pool_accuracy:
+                qmodel.restore_codes(snapshot)
+                stats.reverted_epochs += 1
+                accepted = False
+            else:
+                pool_accuracy = new_accuracy
+        stats.flips_per_epoch.append(flip_count if accepted else 0)
+        if epoch_callback is not None:
+            epoch_callback(epoch, qmodel)
+        return pool_accuracy
+
     def calibrate(
         self,
         qmodel: QuantizedModel,
@@ -697,30 +805,11 @@ class BitFlipCalibrator:
         after every iteration; the QCore updater uses it to track quantization
         misses while calibration is running (Algorithm 4 runs in parallel).
         """
-        if len(data) == 0:
-            raise ValueError("calibration data must contain at least one example")
-        stats = BitFlipCalibrationStats(epochs=self.epochs)
-        if self.batchnorm_refresh_passes > 0:
-            self._refresh_batchnorm_statistics(qmodel, data)
-        pool_accuracy = (
-            qmodel.evaluate(data.features, data.labels) if self.validate else 0.0
-        )
+        stats, pool_accuracy = self.begin_calibration(qmodel, data)
         for epoch in range(self.epochs):
-            flips, flip_count = self._propose_flips(qmodel, data)
-            snapshot = qmodel.snapshot_codes() if self.validate else None
-            if flips:
-                qmodel.apply_flips(flips)
-            accepted = True
-            if self.validate and flips:
-                new_accuracy = qmodel.evaluate(data.features, data.labels)
-                if new_accuracy + 1e-9 < pool_accuracy:
-                    qmodel.restore_codes(snapshot)
-                    stats.reverted_epochs += 1
-                    accepted = False
-                else:
-                    pool_accuracy = new_accuracy
-            stats.flips_per_epoch.append(flip_count if accepted else 0)
-            if epoch_callback is not None:
-                epoch_callback(epoch, qmodel)
+            per_name = self._predict_per_name(qmodel, data)
+            pool_accuracy = self.calibration_step(
+                qmodel, data, per_name, stats, pool_accuracy, epoch, epoch_callback
+            )
         stats.pool_accuracy = pool_accuracy
         return stats

@@ -40,6 +40,25 @@ from repro.quantization.qmodel import QuantizedModel, quantize_model
 
 
 @dataclass
+class BatchContext:
+    """In-flight state of one stream batch being absorbed by a deployment.
+
+    Produced by :meth:`EdgeDeployment.begin_batch` and consumed by
+    :meth:`EdgeDeployment.finish_batch`.  Splitting the batch life cycle in
+    two lets the fleet calibrator (:mod:`repro.fleet`) run the bit-flip
+    inference of *many* deployments between the two halves as one batched
+    forward pass, while each deployment keeps its own pool, miss observer and
+    QCore update — the parts that are inherently per-device.
+    """
+
+    batch: Dataset
+    pool: Dataset
+    tracker: object
+    observer: object
+    start: float
+
+
+@dataclass
 class BatchReport:
     """Diagnostics for one processed stream batch."""
 
@@ -133,34 +152,32 @@ class EdgeDeployment:
         """Accuracy of the deployed quantized model on ``dataset``."""
         return self.qmodel.evaluate(dataset.features, dataset.labels)
 
-    def process_batch(self, batch: Dataset) -> Dict[str, float]:
-        """Absorb one labelled stream batch: calibrate the model, update the QCore.
+    def begin_batch(self, batch: Dataset) -> BatchContext:
+        """Open a stream batch: build the merged pool and the miss observer.
 
-        Returns a dictionary of diagnostics (elapsed seconds, number of bit
-        flips applied, misses observed during the update).
+        The returned :class:`BatchContext` is what the calibration phase needs
+        (the pool to calibrate on, the observer to call after every bit-flip
+        iteration); pass it to :meth:`finish_batch` once calibration is done.
         """
         if len(batch) == 0:
             raise ValueError("stream batch must contain at least one example")
         start = time.perf_counter()
         pool = self.updater.build_pool(self.qcore, batch)
         tracker, observer = self.updater.make_observer(pool, self.bits)
-        flips_applied = 0
-        if self.use_bitflip:
-            stats = self.calibrator.calibrate(self.qmodel, pool, epoch_callback=observer)
-            flips_applied = stats.total_flips
-        else:
-            # NoBF ablation: the model is frozen on the edge; we still observe
-            # misses so the QCore update has a signal to work with.
-            for epoch in range(self.calibrator.epochs):
-                observer(epoch, self.qmodel)
+        return BatchContext(
+            batch=batch, pool=pool, tracker=tracker, observer=observer, start=start
+        )
+
+    def finish_batch(self, context: BatchContext, flips_applied: int) -> Dict[str, float]:
+        """Close a stream batch: update the QCore and report diagnostics."""
         misses_observed = 0
         if self.use_update:
             update = self.updater.observe_and_resample(
-                self.qcore, batch, tracker, pool, self.bits
+                self.qcore, context.batch, context.tracker, context.pool, self.bits
             )
             self.qcore = update.qcore
             misses_observed = update.misses_observed
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - context.start
         self._batches_processed += 1
         return {
             "seconds": elapsed,
@@ -168,6 +185,63 @@ class EdgeDeployment:
             "misses_observed": float(misses_observed),
             "qcore_size": float(len(self.qcore)),
         }
+
+    def process_batch(self, batch: Dataset) -> Dict[str, float]:
+        """Absorb one labelled stream batch: calibrate the model, update the QCore.
+
+        Returns a dictionary of diagnostics (elapsed seconds, number of bit
+        flips applied, misses observed during the update).
+        """
+        context = self.begin_batch(batch)
+        flips_applied = 0
+        if self.use_bitflip:
+            stats = self.calibrator.calibrate(
+                self.qmodel, context.pool, epoch_callback=context.observer
+            )
+            flips_applied = stats.total_flips
+        else:
+            # NoBF ablation: the model is frozen on the edge; we still observe
+            # misses so the QCore update has a signal to work with.
+            for epoch in range(self.calibrator.epochs):
+                context.observer(epoch, self.qmodel)
+        return self.finish_batch(context, flips_applied)
+
+    def clone(self, rng: Optional[np.random.Generator] = None) -> "EdgeDeployment":
+        """An independent deployment of the same packaged model.
+
+        The quantized model, QCore and updater state are deep-copied (each
+        device owns and mutates its own); the trained bit-flipping network and
+        its feature normalizer are *shared* with the original — they are
+        read-only at the edge, and sharing one network across a fleet of
+        clones is what lets :class:`~repro.fleet.FleetCalibrator` serve every
+        device from a single batched inference.  ``rng`` replaces the clone's
+        generator (and its updater's) so replicated devices can draw
+        independent randomness; by default the clone inherits a copy of the
+        original's generator state.
+        """
+        # Pre-aliasing the shared package in the memo keeps deepcopy from
+        # copying it at all (the clone receives the original objects).
+        memo = {
+            id(self.bitflip): self.bitflip,
+            id(self.calibrator.normalizer): self.calibrator.normalizer,
+        }
+        dup = copy.deepcopy(self, memo)
+        if rng is not None:
+            dup.rng = rng
+            dup.updater.rng = rng
+        return dup
+
+    def adopt_shared_package(self, original: "EdgeDeployment") -> None:
+        """Re-point the read-only package at another deployment's objects.
+
+        After a deployment crosses a process boundary (pickled to a worker and
+        back) its BF network and normalizer are bitwise-equal *copies* of the
+        fleet-shared originals; re-attaching the originals restores the
+        object-identity sharing that fleet-wide batched inference groups by.
+        """
+        self.bitflip = original.bitflip
+        self.calibrator.network = original.bitflip
+        self.calibrator.normalizer = original.calibrator.normalizer
 
 
 class QCoreFramework:

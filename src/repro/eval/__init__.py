@@ -17,6 +17,8 @@ from repro.eval.methods import QCoreMethod
 from repro.eval.parallel import (
     ParallelEvaluator,
     RunSpec,
+    WorkerError,
+    WorkerPool,
     build_specs,
     derive_seeds,
     merge_results,
@@ -34,6 +36,8 @@ __all__ = [
     "MethodRunResult",
     "ParallelEvaluator",
     "RunSpec",
+    "WorkerError",
+    "WorkerPool",
     "build_specs",
     "derive_seeds",
     "merge_results",

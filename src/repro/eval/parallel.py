@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -159,31 +160,174 @@ def run_spec(
     return replace(result, method=spec.method)
 
 
-# --------------------------------------------------------------- worker state
-# Sent once per worker through the pool initializer instead of once per spec,
-# so the dataset and model are pickled ``workers`` times, not ``len(specs)``
-# times.
-_WORKER_STATE: dict = {}
+# ---------------------------------------------------------------- worker pool
+class WorkerError(RuntimeError):
+    """A worker failed while executing one work item.
+
+    Carries the offending ``item`` (e.g. the :class:`RunSpec`) and the full
+    ``worker_traceback`` formatted inside the worker process, so a failed run
+    in a sharded sweep is attributable without re-running it serially.
+    """
+
+    def __init__(self, message: str, item: Any = None, worker_traceback: str = ""):
+        super().__init__(message)
+        self.item = item
+        self.worker_traceback = worker_traceback
 
 
-def _worker_init(
-    dataset: MultiDomainDataset, model: Module, num_batches: int, dtype_name: str
-) -> None:
+@dataclass
+class _WorkerFailure:
+    """Picklable record of an exception raised inside a worker."""
+
+    exception: str
+    worker_traceback: str
+
+
+def _call_guarded(fn: Callable, payload: Any, item: Any) -> Any:
+    try:
+        return fn(payload, item)
+    except Exception as error:  # noqa: BLE001 — re-raised in the parent
+        return _WorkerFailure(
+            exception=f"{type(error).__name__}: {error}",
+            worker_traceback=traceback.format_exc(),
+        )
+
+
+# Sent once per worker through the pool initializer instead of once per item,
+# so large payloads (dataset + model, or a whole fleet) are pickled
+# ``workers`` times per pool lifetime, not ``len(items)`` times.
+_POOL_STATE: dict = {}
+
+
+def _pool_init(payload: Any, dtype_name: str) -> None:
     # A spawned child starts from the repo-default dtype; inherit the parent's
     # active dtype before any computation touches runtime.asarray.
     runtime.set_dtype(dtype_name)
-    _WORKER_STATE["dataset"] = dataset
-    _WORKER_STATE["model"] = model
-    _WORKER_STATE["num_batches"] = num_batches
+    _POOL_STATE["payload"] = payload
 
 
-def _worker_run(spec: RunSpec) -> MethodRunResult:
-    return run_spec(
-        spec,
-        _WORKER_STATE["dataset"],
-        _WORKER_STATE["model"],
-        _WORKER_STATE["num_batches"],
-    )
+def _pool_call(packed: Tuple[Callable, Any]) -> Any:
+    fn, item = packed
+    return _call_guarded(fn, _POOL_STATE["payload"], item)
+
+
+class WorkerPool:
+    """A persistent pool of worker processes holding a shared payload.
+
+    The payload — typically the immutable bulk of a sweep, such as the dataset
+    and backbone model, or a whole device fleet — is pickled into each worker
+    exactly once, when the pool starts.  Subsequent :meth:`map` calls ship
+    only the (small) per-item work descriptions, so several sweeps can reuse
+    one pool without re-paying the model pickling cost per call.
+
+    ``workers=1`` runs in-process through the same guarded code path, with two
+    deliberate differences from the pooled mode: the payload is shared by
+    reference (no pickling — mutations are visible to the caller, which is why
+    stateful users like the sharded fleet runner clone their work first), and
+    a failing item stops execution immediately instead of after the whole map
+    (serial fail-fast).  Map *results* for pure functions are identical either
+    way.
+
+    Use as a context manager, or call :meth:`close` explicitly::
+
+        with WorkerPool(payload=(data, model), workers=4) as pool:
+            first = pool.map(fn, first_queue)
+            second = pool.map(fn, second_queue)   # no re-pickling
+    """
+
+    def __init__(
+        self,
+        payload: Any = None,
+        workers: Optional[int] = None,
+        mp_context: str = "spawn",
+    ):
+        self.workers = resolve_workers(workers)
+        self.mp_context = mp_context
+        self._payload = payload
+        self._pool = None
+        self._closed = False
+        if self.workers > 1:
+            context = multiprocessing.get_context(mp_context)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_pool_init,
+                initargs=(payload, str(runtime.get_dtype())),
+            )
+
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: Iterable[Any],
+        describe: Callable[[Any], str] = repr,
+    ) -> List[Any]:
+        """Apply ``fn(payload, item)`` to every item, preserving item order.
+
+        ``fn`` must be a module-level callable (workers unpickle it by
+        reference).  If any item fails, a :class:`WorkerError` is raised
+        naming the item (via ``describe``) and embedding the worker's full
+        traceback; remaining results are discarded.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        items = list(items)
+        if self._pool is None:
+            # In-process execution fails fast: nothing after the first failing
+            # item runs (matching the old serial evaluator), which also keeps
+            # a shared-by-reference payload from being mutated further by
+            # items past the failure.
+            outcomes = []
+            for item in items:
+                outcome = _call_guarded(fn, self._payload, item)
+                self._raise_on_failure(item, outcome, describe)
+                outcomes.append(outcome)
+            return outcomes
+        else:
+            # chunksize=1: items are coarse-grained (a whole stream or fleet
+            # shard each), so per-task dispatch overhead is negligible and
+            # load balance wins.
+            outcomes = self._pool.map(
+                _pool_call, [(fn, item) for item in items], chunksize=1
+            )
+        for item, outcome in zip(items, outcomes):
+            self._raise_on_failure(item, outcome, describe)
+        return outcomes
+
+    @staticmethod
+    def _raise_on_failure(item: Any, outcome: Any, describe: Callable[[Any], str]) -> None:
+        if isinstance(outcome, _WorkerFailure):
+            raise WorkerError(
+                f"worker failed on {describe(item)}: {outcome.exception}\n"
+                f"--- worker traceback ---\n{outcome.worker_traceback}",
+                item=item,
+                worker_traceback=outcome.worker_traceback,
+            )
+
+    def close(self) -> None:
+        """Shut the workers down; the pool cannot be used afterwards."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _run_spec_item(
+    payload: Tuple[MultiDomainDataset, Module], item: Tuple[RunSpec, int]
+) -> MethodRunResult:
+    """Pool work function: one spec against the pool's shared dataset + model."""
+    dataset, model = payload
+    spec, num_batches = item
+    return run_spec(spec, dataset, model, num_batches)
 
 
 class ParallelEvaluator:
@@ -232,34 +376,83 @@ class ParallelEvaluator:
             if spec.bits <= 0:
                 raise ValueError(f"spec {spec.describe()!r} has non-positive bits")
 
+    def make_pool(
+        self, dataset: MultiDomainDataset, model: Module
+    ) -> WorkerPool:
+        """A persistent :class:`WorkerPool` preloaded with this sweep's state.
+
+        The dataset and model are pickled into the workers once; every
+        subsequent :meth:`run` call that passes this pool ships only its
+        specs.  Close the pool (or use it as a context manager) when the
+        sweeps are done.
+        """
+        return WorkerPool(
+            payload=(dataset, model), workers=self.workers, mp_context=self.mp_context
+        )
+
     def run(
         self,
         specs: Sequence[RunSpec],
         dataset: MultiDomainDataset,
         model: Module,
+        pool: Optional[WorkerPool] = None,
     ) -> List[MethodRunResult]:
         """Execute every spec and return results in spec order.
 
         Output order — and every value in it — is independent of the worker
-        count; only wall-clock time changes.
+        count; only wall-clock time changes.  ``pool`` routes the specs
+        through an existing :meth:`make_pool` pool (its payload must have been
+        built from the same dataset and model); by default an ephemeral pool
+        is created and torn down around the call.
+
+        A failing run raises :class:`WorkerError` carrying the offending
+        :class:`RunSpec` and the worker's full traceback.
         """
         specs = list(specs)
         self._validate(specs, dataset)
         if not specs:
             return []
-        if self.workers == 1:
-            return [run_spec(s, dataset, model, self.num_batches) for s in specs]
-        context = multiprocessing.get_context(self.mp_context)
-        pool_size = min(self.workers, len(specs))
-        dtype_name = str(runtime.get_dtype())
-        with context.Pool(
-            processes=pool_size,
-            initializer=_worker_init,
-            initargs=(dataset, model, self.num_batches, dtype_name),
-        ) as pool:
-            # chunksize=1: specs are coarse-grained (a whole stream each), so
-            # per-task dispatch overhead is negligible and load balance wins.
-            return pool.map(_worker_run, specs, chunksize=1)
+        items = [(spec, self.num_batches) for spec in specs]
+        describe = lambda item: f"spec {item[0].describe()!r}"
+        if pool is not None:
+            payload = pool._payload
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] is dataset
+                and payload[1] is model
+            ):
+                raise ValueError(
+                    "pool was not built from this run's dataset and model "
+                    "(runs execute against the pool's payload, so a mismatch "
+                    "would silently produce results for the wrong sweep) — "
+                    "create it via make_pool(dataset, model)"
+                )
+            return pool.map(_run_spec_item, items, describe=describe)
+        # An ephemeral pool never needs more workers than it has specs.
+        ephemeral = WorkerPool(
+            payload=(dataset, model),
+            workers=min(self.workers, len(items)),
+            mp_context=self.mp_context,
+        )
+        with ephemeral:
+            return ephemeral.map(_run_spec_item, items, describe=describe)
+
+    def run_all(
+        self,
+        spec_queues: Sequence[Sequence[RunSpec]],
+        dataset: MultiDomainDataset,
+        model: Module,
+    ) -> List[List[MethodRunResult]]:
+        """Run several spec queues through one persistent worker pool.
+
+        The workers stay alive across the queues, so the dataset and model are
+        pickled once per pool lifetime instead of once per queue — the
+        amortisation that matters when a sweep is issued as many small batches
+        (per-table, per-bit-width, or per fleet shard).
+        """
+        with self.make_pool(dataset, model) as pool:
+            return [self.run(queue, dataset, model, pool=pool) for queue in spec_queues]
 
     def run_to_table(
         self,

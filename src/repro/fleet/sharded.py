@@ -1,0 +1,117 @@
+"""Sharded fleet processing over the worker pool.
+
+A fleet's devices are independent, so a stream of fleet batches can be split
+device-wise into shards and each shard processed by its own worker — batched
+BF inference *within* the shard, process-parallelism *across* shards.  Each
+work item carries one shard (its deployments plus its slice of the stream
+data), so every device is pickled exactly once into a worker and once back.
+The returned, mutated deployments are swapped into the caller's fleet — with
+the shared bit-flip network and normalizer objects re-attached, since pickling
+shards separately would otherwise split the fleet-wide sharing they rely on —
+so the final fleet state is bit-identical to processing every device in one
+process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.dataset import Dataset
+from repro.eval.parallel import WorkerPool, resolve_workers
+from repro.fleet.calibrator import FleetBatchReport, FleetCalibrator
+from repro.fleet.registry import Fleet
+
+
+def _process_shard(
+    _payload: None, item: Tuple[Fleet, Sequence[Mapping[str, Dataset]]]
+):
+    """Pool work function: one shard's devices through the whole stream."""
+    shard, stream = item
+    calibrator = FleetCalibrator()
+    reports = [calibrator.process_batches(shard, batches) for batches in stream]
+    return reports, {device_id: shard.get(device_id) for device_id in shard.ids}
+
+
+def run_fleet_stream(
+    fleet: Fleet,
+    stream: Sequence[Mapping[str, Dataset]],
+    workers: Optional[int] = None,
+    mp_context: str = "spawn",
+    shards: Optional[int] = None,
+) -> List[Dict[str, Dict[str, float]]]:
+    """Drive a fleet through a stream of batches, sharded across workers.
+
+    ``stream`` is a sequence of time steps, each mapping every device id to
+    that device's incoming labelled batch.  The fleet is sharded into
+    ``shards`` contiguous sub-fleets (default: one per worker); each worker
+    batch-calibrates its shard through all time steps, then the mutated
+    deployments replace the caller's — so on return ``fleet`` holds exactly
+    the state serial processing would have produced, regardless of worker
+    count.  Returns one ``{device_id: diagnostics}`` mapping per time step,
+    merged across shards (diagnostics are the
+    :meth:`~repro.core.pipeline.EdgeDeployment.process_batch` dictionaries).
+
+    ``workers`` follows :func:`repro.eval.parallel.resolve_workers`
+    (``REPRO_EVAL_WORKERS`` fallback).  With ``workers=1`` everything runs
+    in-process on cloned shards, so — like the child-process path — a failing
+    stream leaves the caller's fleet untouched.
+    """
+    if len(fleet) == 0:
+        raise ValueError("fleet is empty")
+    for step, batches in enumerate(stream):
+        missing = [device_id for device_id in fleet.ids if device_id not in batches]
+        if missing:
+            raise KeyError(f"stream step {step} lacks batches for devices: {missing}")
+    if not stream:
+        return []
+
+    workers = resolve_workers(workers)
+    shard_fleets = fleet.shard(shards if shards is not None else workers)
+    if workers == 1:
+        # In-process execution would otherwise mutate the caller's devices
+        # directly; cloning each shard makes a mid-stream failure leave the
+        # fleet untouched, exactly like the child-process path (where the
+        # pickled copies die with the worker).
+        shard_fleets = [
+            Fleet({device_id: shard.get(device_id).clone() for device_id in shard.ids})
+            for shard in shard_fleets
+        ]
+    items = [
+        (
+            shard,
+            [
+                {device_id: batches[device_id] for device_id in shard.ids}
+                for batches in stream
+            ],
+        )
+        for shard in shard_fleets
+    ]
+    with WorkerPool(
+        payload=None, workers=min(workers, len(items)), mp_context=mp_context
+    ) as pool:
+        outcomes = pool.map(
+            _process_shard,
+            items,
+            describe=lambda item: f"fleet shard {item[0].ids!r}",
+        )
+
+    merged: List[Dict[str, Dict[str, float]]] = [
+        {} for _ in range(len(stream))
+    ]
+    for shard_reports, deployments in outcomes:
+        for step, report in enumerate(shard_reports):
+            assert isinstance(report, FleetBatchReport)
+            merged[step].update(report.reports)
+        for device_id, deployment in deployments.items():
+            # Pickling shards separately gives each worker its own copy of any
+            # BF network/normalizer the fleet shared; re-attach the caller's
+            # originals to preserve fleet-wide one-forward batching.
+            original = fleet.get(device_id)
+            if deployment is not original:
+                deployment.adopt_shared_package(original)
+            fleet.replace(device_id, deployment)
+    # Re-order every step's mapping to fleet order for stable presentation.
+    return [
+        {device_id: step_report[device_id] for device_id in fleet.ids}
+        for step_report in merged
+    ]

@@ -206,6 +206,26 @@ class QuantizedModel:
         """Total storage of the integer codes in bits."""
         return sum(qt.memory_bits() for qt in self.qtensors.values())
 
+    def codes_digest(self) -> str:
+        """Stable SHA-256 fingerprint of every parameter's integer codes.
+
+        Two quantized models have equal digests iff their deployed
+        representations are bit-identical (same parameter names, shapes and
+        integer codes).  This is the cheap equality check behind the fleet
+        bit-identity assertions and the golden-regression fixtures: integer
+        codes are exact, so the digest is reproducible across platforms in a
+        way raw float weights are not.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in sorted(self.qtensors):
+            qt = self.qtensors[name]
+            digest.update(name.encode())
+            digest.update(str(qt.codes.shape).encode())
+            digest.update(np.ascontiguousarray(qt.codes, dtype=np.int64).tobytes())
+        return digest.hexdigest()
+
     def quantization_error(self) -> float:
         """Mean absolute difference between latent and dequantized weights."""
         errors = [

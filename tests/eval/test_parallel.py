@@ -16,6 +16,8 @@ from repro.eval import (
     MethodRunResult,
     ParallelEvaluator,
     RunSpec,
+    WorkerError,
+    WorkerPool,
     build_specs,
     derive_seeds,
     merge_results,
@@ -36,6 +38,26 @@ ER_FACTORY = functools.partial(
     ER, buffer_size=8, adapt_epochs=1, lr=0.05, batch_size=16,
     initial_calibration_epochs=2, seed=0,
 )
+
+
+class ExplodingMethodError(RuntimeError):
+    pass
+
+
+def exploding_factory():
+    """Module-level factory whose method construction fails (picklable)."""
+    raise ExplodingMethodError("the factory exploded")
+
+
+def _double(payload, item):
+    """Module-level WorkerPool function (picklable under spawn)."""
+    return payload * item
+
+
+def _fail_on_three(payload, item):
+    if item == 3:
+        raise ValueError(f"cannot process {item}")
+    return item
 
 
 @pytest.fixture(scope="module")
@@ -235,3 +257,140 @@ class TestAggregation:
         restored = [MethodRunResult.from_dict(r.to_dict()) for r in results]
         assert [_identity(r) for r in restored] == [_identity(r) for r in results]
         assert restored[0].average_accuracy == results[0].average_accuracy
+
+
+class TestWorkerPool:
+    def test_in_process_map(self):
+        with WorkerPool(payload=10, workers=1) as pool:
+            assert pool.map(_double, [1, 2, 3]) == [10, 20, 30]
+
+    def test_in_process_shares_payload_object(self):
+        payload = {"calls": 0}
+
+        def bump(state, item):
+            state["calls"] += item
+            return state["calls"]
+
+        with WorkerPool(payload=payload, workers=1) as pool:
+            pool.map(bump, [1, 2])
+        assert payload["calls"] == 3
+
+    def test_pooled_map_matches_in_process(self):
+        with WorkerPool(payload=10, workers=2, mp_context="fork") as pool:
+            assert pool.map(_double, [1, 2, 3, 4]) == [10, 20, 30, 40]
+
+    def test_pool_persists_across_map_calls(self):
+        with WorkerPool(payload=2, workers=2, mp_context="fork") as pool:
+            assert pool.map(_double, [1, 2]) == [2, 4]
+            assert pool.map(_double, [3]) == [6]
+
+    def test_in_process_failure_is_fail_fast(self):
+        """workers=1 must stop at the first failing item (serial semantics) —
+        items after the failure never execute."""
+        executed = []
+
+        def record_then_fail(payload, item):
+            if item == 3:
+                raise ValueError("boom")
+            executed.append(item)
+            return item
+
+        with WorkerPool(payload=None, workers=1) as pool:
+            with pytest.raises(WorkerError):
+                pool.map(record_then_fail, [1, 2, 3, 4])
+        assert executed == [1, 2]
+
+    def test_failure_raises_worker_error_with_traceback(self):
+        with WorkerPool(payload=None, workers=1) as pool:
+            with pytest.raises(WorkerError) as excinfo:
+                pool.map(_fail_on_three, [1, 2, 3, 4])
+        assert "cannot process 3" in str(excinfo.value)
+        assert "worker traceback" in str(excinfo.value)
+        assert "_fail_on_three" in excinfo.value.worker_traceback
+        assert excinfo.value.item == 3
+
+    def test_pooled_failure_raises_worker_error(self):
+        with WorkerPool(payload=None, workers=2, mp_context="fork") as pool:
+            with pytest.raises(WorkerError) as excinfo:
+                pool.map(_fail_on_three, [1, 2, 3, 4])
+        assert "ValueError: cannot process 3" in str(excinfo.value)
+        assert excinfo.value.item == 3
+
+    def test_closed_pool_rejects_map(self):
+        pool = WorkerPool(payload=1, workers=1)
+        pool.close()
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_double, [1])
+
+
+class TestWorkerFailureSurfacing:
+    """Regression tests: a failed run must name the offending spec and carry
+    the worker's traceback (previously only the bare exception surfaced,
+    making sharded failures impossible to attribute)."""
+
+    def _bad_specs(self):
+        return [
+            RunSpec("ER", ER_FACTORY, "Subj. 1", "Subj. 2", bits=4),
+            RunSpec("BOOM", exploding_factory, "Subj. 1", "Subj. 3", bits=4, seed=7),
+        ]
+
+    def test_in_process_failure_names_spec(self, sweep_setup):
+        data, model, _ = sweep_setup
+        evaluator = ParallelEvaluator(num_batches=2, workers=1)
+        with pytest.raises(WorkerError) as excinfo:
+            evaluator.run(self._bad_specs(), data, model)
+        message = str(excinfo.value)
+        assert "BOOM 4b Subj. 1→Subj. 3 #7" in message
+        assert "ExplodingMethodError: the factory exploded" in message
+        assert "exploding_factory" in excinfo.value.worker_traceback
+        spec, _ = excinfo.value.item
+        assert spec.method == "BOOM"
+
+    def test_pooled_failure_names_spec(self, sweep_setup):
+        data, model, _ = sweep_setup
+        evaluator = ParallelEvaluator(num_batches=2, workers=2, mp_context="fork")
+        with pytest.raises(WorkerError) as excinfo:
+            evaluator.run(self._bad_specs(), data, model)
+        assert "BOOM 4b Subj. 1→Subj. 3 #7" in str(excinfo.value)
+        assert "exploding_factory" in excinfo.value.worker_traceback
+
+
+class TestPersistentPoolEvaluator:
+    def test_run_all_through_one_pool_matches_independent_runs(self, sweep_setup):
+        data, model, specs = sweep_setup
+        evaluator = ParallelEvaluator(num_batches=2, workers=1)
+        independent = [
+            evaluator.run(specs[:2], data, model),
+            evaluator.run(specs[2:], data, model),
+        ]
+        pooled = evaluator.run_all([specs[:2], specs[2:]], data, model)
+        assert [[_identity(r) for r in batch] for batch in pooled] == [
+            [_identity(r) for r in batch] for batch in independent
+        ]
+
+    def test_run_all_with_workers_matches_serial(self, sweep_setup):
+        data, model, specs = sweep_setup
+        serial = ParallelEvaluator(num_batches=2, workers=1).run(specs, data, model)
+        pooled = ParallelEvaluator(
+            num_batches=2, workers=2, mp_context="fork"
+        ).run_all([specs[:2], specs[2:]], data, model)
+        flattened = [r for batch in pooled for r in batch]
+        assert [_identity(r) for r in flattened] == [_identity(r) for r in serial]
+
+    def test_explicit_pool_reuse(self, sweep_setup):
+        data, model, specs = sweep_setup
+        evaluator = ParallelEvaluator(num_batches=2, workers=1)
+        with evaluator.make_pool(data, model) as pool:
+            first = evaluator.run(specs[:2], data, model, pool=pool)
+            second = evaluator.run(specs[:2], data, model, pool=pool)
+        assert [_identity(r) for r in first] == [_identity(r) for r in second]
+
+    def test_mismatched_pool_payload_rejected(self, sweep_setup):
+        """Runs execute against the pool's payload — passing a pool built from
+        a different dataset/model must raise, not silently use the wrong one."""
+        data, model, specs = sweep_setup
+        evaluator = ParallelEvaluator(num_batches=2, workers=1)
+        with WorkerPool(payload=("not", "this sweep"), workers=1) as pool:
+            with pytest.raises(ValueError, match="make_pool"):
+                evaluator.run(specs[:1], data, model, pool=pool)

@@ -1,0 +1,304 @@
+"""Tests for the fleet calibration subsystem (registry, batched calibrator, sharding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EdgeDeployment, QCoreFramework
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.eval.parallel import WorkerError
+from repro.fleet import Fleet, FleetCalibrator, run_fleet_stream
+from repro.models import build_model
+
+TINY_TS = SyntheticTimeSeriesConfig(
+    num_classes=3, num_domains=2, channels=3, length=16,
+    train_per_class=8, val_per_class=1, test_per_class=3,
+)
+
+
+@pytest.fixture(scope="module")
+def packaged():
+    """Dataset + one server-side packaged deployment (model, BF net, QCore)."""
+    data = make_dsa_surrogate(seed=0, config=TINY_TS)
+    model = build_model(
+        "InceptionTime", data.input_shape, data.num_classes,
+        rng=np.random.default_rng(0),
+    )
+    framework = QCoreFramework(
+        levels=(4,), qcore_size=12, train_epochs=3, calibration_epochs=4,
+        edge_calibration_epochs=2, seed=0,
+    )
+    framework.fit(model, data[data.domain_names[0]].train)
+    deployment = framework.deploy(bits=4)
+    return data, framework, deployment
+
+
+def _pools(data, device_ids):
+    """Deterministic, device-specific calibration pools from the target domain."""
+    target = data[data.domain_names[1]].train
+    return {
+        device_id: target.subset(np.arange(k * 6, k * 6 + 12) % len(target))
+        for k, device_id in enumerate(device_ids)
+    }
+
+
+def _batches(data, device_ids, step=0):
+    target = data[data.domain_names[1]].train
+    return {
+        device_id: target.subset(
+            np.arange(step * 5 + k * 3, step * 5 + k * 3 + 9) % len(target)
+        )
+        for k, device_id in enumerate(device_ids)
+    }
+
+
+class TestFleetRegistry:
+    def test_register_and_order(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet()
+        fleet.register("b", deployment.clone())
+        fleet.register("a", deployment.clone())
+        assert fleet.ids == ["b", "a"]
+        assert len(fleet) == 2
+        assert "a" in fleet and "c" not in fleet
+        assert isinstance(fleet.get("a"), EdgeDeployment)
+
+    def test_register_rejects_duplicates_and_bad_input(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet({"a": deployment.clone()})
+        with pytest.raises(ValueError, match="already registered"):
+            fleet.register("a", deployment.clone())
+        with pytest.raises(ValueError, match="non-empty"):
+            fleet.register("", deployment.clone())
+        with pytest.raises(TypeError):
+            fleet.register("b", object())
+
+    def test_replicate_shares_network_but_not_state(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 3, seed=0)
+        assert len(fleet) == 3
+        devices = fleet.devices()
+        assert all(dev.bitflip is deployment.bitflip for dev in devices)
+        assert all(
+            dev.calibrator.normalizer is deployment.calibrator.normalizer
+            for dev in devices
+        )
+        assert all(dev.qmodel is not deployment.qmodel for dev in devices)
+        # Clones start bit-identical to the packaged model.
+        digests = set(fleet.codes_digests().values())
+        assert digests == {deployment.qmodel.codes_digest()}
+
+    def test_replicate_rejects_non_positive_count(self, packaged):
+        _, _, deployment = packaged
+        with pytest.raises(ValueError):
+            Fleet.replicate(deployment, 0)
+
+    def test_shard_partitions_in_order(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 5, seed=0)
+        shards = fleet.shard(2)
+        assert [i for shard in shards for i in shard.ids] == fleet.ids
+        assert {len(shard) for shard in shards} <= {2, 3}
+        # Shards share device objects with the parent fleet.
+        assert shards[0].get(shards[0].ids[0]) is fleet.get(fleet.ids[0])
+        # More shards than devices: one device per shard, none empty.
+        assert [len(s) for s in fleet.shard(9)] == [1] * 5
+        with pytest.raises(ValueError):
+            fleet.shard(0)
+
+    def test_subset_unknown_device(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        with pytest.raises(KeyError):
+            fleet.subset(["device-0", "nope"])
+
+    def test_num_parameters_and_summary(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        assert fleet.num_parameters() == 2 * deployment.qmodel.num_parameters()
+        assert len(fleet.summary().splitlines()) == 2
+
+
+class TestFleetCalibrator:
+    def test_batched_bit_identical_to_serial(self, packaged):
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 4, seed=0)
+        serial = Fleet({i: d.clone() for i, d in fleet.items()})
+        pools = _pools(data, fleet.ids)
+
+        for device_id in serial.ids:
+            dev = serial.get(device_id)
+            dev.calibrator.calibrate(dev.qmodel, pools[device_id])
+        result = FleetCalibrator().calibrate(fleet, pools)
+
+        assert fleet.codes_digests() == serial.codes_digests()
+        assert result.rounds == deployment.calibrator.epochs
+        # One shared network -> one forward per round for the whole fleet.
+        assert result.bf_forward_calls == result.rounds
+        assert result.serial_forward_calls == 4 * result.rounds
+        assert result.total_flips > 0
+
+    def test_stats_match_serial_calibrator(self, packaged):
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 3, seed=0)
+        serial = Fleet({i: d.clone() for i, d in fleet.items()})
+        pools = _pools(data, fleet.ids)
+
+        serial_stats = {
+            i: serial.get(i).calibrator.calibrate(serial.get(i).qmodel, pools[i])
+            for i in serial.ids
+        }
+        result = FleetCalibrator().calibrate(fleet, pools)
+        for device_id, stats in result.stats.items():
+            reference = serial_stats[device_id]
+            assert stats.flips_per_epoch == reference.flips_per_epoch
+            assert stats.reverted_epochs == reference.reverted_epochs
+            assert stats.pool_accuracy == reference.pool_accuracy
+
+    def test_heterogeneous_bits_group_per_network(self, packaged):
+        data, framework, deployment = packaged
+        other = framework.deploy(bits=2)
+        fleet = Fleet()
+        fleet.register("a4", deployment.clone())
+        fleet.register("b2", other.clone())
+        fleet.register("c4", deployment.clone())
+        serial = Fleet({i: d.clone() for i, d in fleet.items()})
+        pools = _pools(data, fleet.ids)
+
+        for device_id in serial.ids:
+            dev = serial.get(device_id)
+            dev.calibrator.calibrate(dev.qmodel, pools[device_id])
+        result = FleetCalibrator().calibrate(fleet, pools)
+
+        assert fleet.codes_digests() == serial.codes_digests()
+        # Two distinct BF networks -> two forwards per round, not three.
+        assert result.bf_forward_calls == 2 * result.rounds
+
+    def test_missing_pool_raises(self, packaged):
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        pools = _pools(data, fleet.ids[:1])
+        with pytest.raises(KeyError, match="device-1"):
+            FleetCalibrator().calibrate(fleet, pools)
+
+    def test_process_batches_matches_per_device_process_batch(self, packaged):
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 3, seed=0)
+        serial = Fleet({i: d.clone() for i, d in fleet.items()})
+        batches = _batches(data, fleet.ids)
+
+        serial_reports = {
+            i: serial.get(i).process_batch(batches[i]) for i in serial.ids
+        }
+        report = FleetCalibrator().process_batches(fleet, batches)
+
+        assert fleet.codes_digests() == serial.codes_digests()
+        for device_id, diagnostics in report.reports.items():
+            reference = serial_reports[device_id]
+            for key in ("flips_applied", "misses_observed", "qcore_size"):
+                assert diagnostics[key] == reference[key]
+        # QCore updates must match too, not just the model codes.
+        for device_id in fleet.ids:
+            updated = fleet.get(device_id).qcore.as_dataset()
+            expected = serial.get(device_id).qcore.as_dataset()
+            np.testing.assert_array_equal(updated.features, expected.features)
+            np.testing.assert_array_equal(updated.labels, expected.labels)
+
+    def test_process_batches_honors_nobf_ablation(self, packaged):
+        data, _, deployment = packaged
+        frozen = deployment.clone()
+        frozen.use_bitflip = False
+        fleet = Fleet({"frozen": frozen, "live": deployment.clone()})
+        before = fleet.get("frozen").qmodel.codes_digest()
+        report = FleetCalibrator().process_batches(fleet, _batches(data, fleet.ids))
+        assert fleet.get("frozen").qmodel.codes_digest() == before
+        assert report.reports["frozen"]["flips_applied"] == 0.0
+        assert "frozen" not in report.calibration.stats
+        assert "live" in report.calibration.stats
+
+    def test_missing_batch_raises(self, packaged):
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        with pytest.raises(KeyError, match="device-1"):
+            FleetCalibrator().process_batches(fleet, _batches(data, fleet.ids[:1]))
+
+
+class TestShardedFleet:
+    def _stream(self, data, device_ids, steps=2):
+        return [_batches(data, device_ids, step=step) for step in range(steps)]
+
+    def test_single_worker_matches_in_process_calibrator(self, packaged):
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 4, seed=0)
+        reference = Fleet({i: d.clone() for i, d in fleet.items()})
+        stream = self._stream(data, fleet.ids)
+
+        calibrator = FleetCalibrator()
+        expected = [calibrator.process_batches(reference, b).reports for b in stream]
+        reports = run_fleet_stream(fleet, stream, workers=1)
+
+        assert fleet.codes_digests() == reference.codes_digests()
+        for merged, exp in zip(reports, expected):
+            assert set(merged) == set(exp)
+            for device_id in merged:
+                for key in ("flips_applied", "misses_observed", "qcore_size"):
+                    assert merged[device_id][key] == exp[device_id][key]
+
+    def test_two_workers_match_single_worker(self, packaged):
+        data, _, deployment = packaged
+        fleet_serial = Fleet.replicate(deployment, 4, seed=0)
+        fleet_sharded = Fleet(
+            {i: d.clone() for i, d in fleet_serial.items()}
+        )
+        stream = self._stream(data, fleet_serial.ids)
+
+        run_fleet_stream(fleet_serial, stream, workers=1)
+        run_fleet_stream(fleet_sharded, stream, workers=2, mp_context="fork")
+
+        assert fleet_sharded.codes_digests() == fleet_serial.codes_digests()
+        # Unpickling shards must not split the fleet-wide BF-network sharing:
+        # a later batched calibration still runs one forward per round.
+        assert len({id(dep.bitflip) for dep in fleet_sharded.devices()}) == 1
+        assert all(
+            dep.calibrator.network is dep.bitflip for dep in fleet_sharded.devices()
+        )
+
+    def test_empty_fleet_and_missing_batches_rejected(self, packaged):
+        data, _, deployment = packaged
+        with pytest.raises(ValueError, match="empty"):
+            run_fleet_stream(Fleet(), [], workers=1)
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        with pytest.raises(KeyError, match="stream step 0"):
+            run_fleet_stream(fleet, [_batches(data, fleet.ids[:1])], workers=1)
+
+    def test_empty_stream_is_noop(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        before = fleet.codes_digests()
+        assert run_fleet_stream(fleet, [], workers=1) == []
+        assert fleet.codes_digests() == before
+
+    def test_worker_failure_names_the_shard(self, packaged):
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        target = data[data.domain_names[1]].train
+        empty = target.subset(np.array([], dtype=np.int64))
+        stream = [{i: empty for i in fleet.ids}]
+        # Empty batches blow up inside begin_batch, in the "worker".
+        with pytest.raises(WorkerError, match="fleet shard"):
+            run_fleet_stream(fleet, stream, workers=1)
+
+    def test_failed_stream_leaves_fleet_untouched(self, packaged):
+        """Failure atomicity must not depend on the worker count: a stream
+        that fails mid-way leaves the caller's fleet in its pre-call state."""
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        target = data[data.domain_names[1]].train
+        empty = target.subset(np.array([], dtype=np.int64))
+        before = fleet.codes_digests()
+        # Step 0 succeeds (and would flip codes); step 1 fails.
+        stream = [_batches(data, fleet.ids), {i: empty for i in fleet.ids}]
+        with pytest.raises(WorkerError):
+            run_fleet_stream(fleet, stream, workers=1)
+        assert fleet.codes_digests() == before

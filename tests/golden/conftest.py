@@ -1,0 +1,6 @@
+"""Make the shared golden scenario module importable from the test file."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

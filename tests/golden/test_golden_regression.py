@@ -1,0 +1,127 @@
+"""Golden-regression suite: pinned float64 numbers for the paper-facing paths.
+
+The committed fixture (``fixtures/golden.json``, regenerated only via
+``generate_fixtures.py``) pins flip decisions, table-5-style accuracies and
+stream splits for a fixed seed.  Every execution strategy the runtime offers —
+per-tensor serial, fused, fleet-batched, parallel-sharded — must reproduce the
+same pinned numbers, so a future fast-path PR that silently changes paper
+numerics fails here instead of shipping.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import golden_scenario as gs
+from repro import runtime
+from repro.eval import ParallelEvaluator
+from repro.fleet import Fleet, FleetCalibrator
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    assert gs.FIXTURE_PATH.exists(), (
+        "golden fixture missing — run: PYTHONPATH=src python tests/golden/generate_fixtures.py"
+    )
+    return json.loads(gs.FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gs.build_dataset()
+
+
+@pytest.fixture(scope="module")
+def packaged(data):
+    return gs.build_packaged_deployment(data)
+
+
+def test_suite_runs_at_float64(fixture):
+    """The goldens are float64 pins; the suite-wide fixture must hold."""
+    assert runtime.get_dtype() == np.float64
+    assert fixture["meta"]["dtype"] == "float64"
+
+
+class TestFlipDecisionGoldens:
+    def _assert_matches(self, fixture, stats, digests, initial_digest):
+        golden = fixture["flip_decisions"]
+        assert initial_digest == golden["initial_digest"]
+        assert stats.flips_per_epoch == golden["flips_per_epoch"]
+        assert stats.reverted_epochs == golden["reverted_epochs"]
+        assert stats.pool_accuracy == golden["pool_accuracy"]
+        assert digests == golden["epoch_digests"]
+
+    def test_fused_serial_calibration(self, fixture, data, packaged):
+        deployment = packaged.clone()
+        assert deployment.calibrator.fused
+        stats, digests = gs.calibrate_with_digests(
+            deployment, gs.build_calibration_pool(data)
+        )
+        self._assert_matches(fixture, stats, digests, packaged.qmodel.codes_digest())
+
+    def test_per_tensor_serial_calibration(self, fixture, data, packaged):
+        deployment = packaged.clone()
+        deployment.calibrator.fused = False
+        stats, digests = gs.calibrate_with_digests(
+            deployment, gs.build_calibration_pool(data)
+        )
+        self._assert_matches(fixture, stats, digests, packaged.qmodel.codes_digest())
+
+    def test_fleet_batched_calibration(self, fixture, data, packaged):
+        """Every device of a replicated fleet given the pinned pool must walk
+        the pinned trajectory — one batched inference or not."""
+        fleet = Fleet.replicate(packaged, 3, seed=0)
+        pool = gs.build_calibration_pool(data)
+        digests = {device_id: [] for device_id in fleet.ids}
+        callbacks = {
+            device_id: (lambda e, qm, _d=digests[device_id]: _d.append(qm.codes_digest()))
+            for device_id in fleet.ids
+        }
+        result = FleetCalibrator().calibrate(
+            fleet, pools={i: pool for i in fleet.ids}, epoch_callbacks=callbacks
+        )
+        for device_id in fleet.ids:
+            self._assert_matches(
+                fixture,
+                result.stats[device_id],
+                digests[device_id],
+                packaged.qmodel.codes_digest(),
+            )
+
+
+class TestAccuracyGoldens:
+    def _assert_matches(self, results, fixture):
+        golden = fixture["accuracies"]
+        assert len(results) == len(golden)
+        for result, pinned in zip(results, golden):
+            assert result.method == pinned["method"]
+            assert result.bits == pinned["bits"]
+            assert result.source == pinned["source"]
+            assert result.target == pinned["target"]
+            assert result.batch_accuracies == pinned["batch_accuracies"]
+            assert result.average_accuracy == pinned["average_accuracy"]
+
+    @pytest.fixture(scope="class")
+    def backbone(self, data):
+        return gs.build_backbone(data)
+
+    def test_serial_sweep_matches_goldens(self, fixture, data, backbone):
+        results = ParallelEvaluator(num_batches=gs.NUM_BATCHES, workers=1).run(
+            gs.build_accuracy_specs(), data, backbone
+        )
+        self._assert_matches(results, fixture)
+
+    def test_parallel_sharded_sweep_matches_goldens(self, fixture, data, backbone):
+        results = ParallelEvaluator(
+            num_batches=gs.NUM_BATCHES, workers=2, mp_context="fork"
+        ).run(gs.build_accuracy_specs(), data, backbone)
+        self._assert_matches(results, fixture)
+
+
+class TestStreamSplitGoldens:
+    def test_split_composition_matches_goldens(self, fixture, data):
+        observed = gs.describe_split(gs.build_split_scenario(data))
+        assert observed == fixture["stream_splits"]
