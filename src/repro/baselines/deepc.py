@@ -81,7 +81,7 @@ class DeepCompression(BackpropContinualMethod):
                 continue
             threshold = np.quantile(np.abs(param.data), self.prune_fraction)
             mask = np.abs(param.data) >= threshold
-            param.data = param.data * mask
+            param.update_data(param.data * mask)
             masks[name] = mask
         return masks
 

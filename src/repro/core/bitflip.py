@@ -31,6 +31,15 @@ from repro.quantization.quantizer import QuantizationConfig, UniformQuantizer
 NUM_FEATURES = 5
 
 
+class HeterogeneousModelsError(ValueError):
+    """Models passed to a stacked extraction do not share an architecture.
+
+    A dedicated type so callers with a per-device fallback (the fleet
+    calibrator) can catch exactly this condition without also swallowing
+    genuine :class:`ValueError`\\ s raised by a model's own forward pass.
+    """
+
+
 def _layer_activation_summaries(layer: Module) -> Tuple[np.ndarray, np.ndarray]:
     """Summarise the activations flowing into and out of a weighted layer.
 
@@ -67,20 +76,25 @@ def _layer_activation_summaries(layer: Module) -> Tuple[np.ndarray, np.ndarray]:
 def _features_for_weight(
     weight: np.ndarray, a_in: np.ndarray, a_out: np.ndarray
 ) -> np.ndarray:
-    """Per-parameter features for a 2-D weight matrix ``(fan_in, out)``.
+    """Per-parameter features for weight matrices ``(..., fan_in, out)``.
 
     The third feature is the paper's ``Δa = (w ★ act) - act`` computed per
     parameter; the remaining features give the BF network the context it
     needs to resolve the direction of the update.
+
+    The formulas broadcast over any leading batch axes (``a_in`` shaped
+    ``(..., fan_in)``, ``a_out`` shaped ``(..., out)``): the serial extractor
+    passes a single 2-D matrix, the fleet's stacked extractor the same
+    arrays with the devices stacked along axis 0 — one implementation, so
+    the two cannot drift.  Returns ``(..., fan_in * out, NUM_FEATURES)``.
     """
-    fan_in, out = weight.shape
-    w = weight
-    a_in_mat = np.broadcast_to(a_in[:, None], (fan_in, out))
-    a_out_mat = np.broadcast_to(a_out[None, :], (fan_in, out))
-    weighted = w * a_in_mat
+    fan_in = weight.shape[-2]
+    a_in_mat = np.broadcast_to(a_in[..., :, None], weight.shape)
+    a_out_mat = np.broadcast_to(a_out[..., None, :], weight.shape)
+    weighted = weight * a_in_mat
     features = np.stack(
         [
-            w,
+            weight,
             a_in_mat,
             weighted - a_in_mat,  # Δa of Algorithm 2, line 9
             a_out_mat,
@@ -88,7 +102,32 @@ def _features_for_weight(
         ],
         axis=-1,
     )
-    return features.reshape(-1, NUM_FEATURES)
+    return features.reshape(weight.shape[:-2] + (-1, NUM_FEATURES))
+
+
+def _vector_features(
+    values: np.ndarray, a_in_mean, a_out: np.ndarray
+) -> np.ndarray:
+    """Shared feature math for flat parameters ``(..., n)``.
+
+    ``a_in_mean`` may be a python float (serial path) or an array
+    broadcastable to ``values`` (stacked path, one mean per device); NumPy's
+    scalar promotion makes the two elementwise identical.
+    """
+    a_in_full = np.broadcast_to(
+        np.asarray(a_in_mean, dtype=values.dtype), values.shape
+    )
+    weighted = values * a_in_full
+    return np.stack(
+        [
+            values,
+            a_in_full,
+            weighted - a_in_full,
+            a_out,
+            weighted - a_out,
+        ],
+        axis=-1,
+    )
 
 
 def _features_for_vector(values: np.ndarray, a_in_mean: float, a_out: np.ndarray) -> np.ndarray:
@@ -96,18 +135,7 @@ def _features_for_vector(values: np.ndarray, a_in_mean: float, a_out: np.ndarray
     values = values.reshape(-1)
     if a_out.shape[0] != values.shape[0]:
         a_out = np.full(values.shape[0], float(np.mean(a_out)) if a_out.size else 0.0)
-    weighted = values * a_in_mean
-    features = np.stack(
-        [
-            values,
-            np.full_like(values, a_in_mean),
-            weighted - a_in_mean,
-            a_out,
-            weighted - a_out,
-        ],
-        axis=-1,
-    )
-    return features
+    return _vector_features(values, a_in_mean, a_out)
 
 
 class FeatureNormalizer:
@@ -173,16 +201,36 @@ class FeatureNormalizer:
         return (features - mean) / std
 
 
-def _iter_raw_parameter_features(
+@dataclass
+class _RawFeatureParts:
+    """One parameter's pre-feature ingredients from a single forward pass."""
+
+    name: str
+    values: np.ndarray
+    a_in: np.ndarray
+    a_out: np.ndarray
+    a_in_mean: float
+
+    @property
+    def signature(self) -> Tuple[str, Tuple[int, ...]]:
+        return (self.name, self.values.shape)
+
+
+def _collect_raw_parts(
     qmodel: QuantizedModel, features_batch: np.ndarray
-) -> Iterator[Tuple[str, np.ndarray]]:
-    """Yield ``(name, raw_features)`` per quantized parameter after one forward pass."""
+) -> List[_RawFeatureParts]:
+    """Forward pass + per-layer activation summaries, without the feature math.
+
+    Shared between the serial extractor and the fleet-stacked one so both see
+    exactly the same parameter order and activation statistics.
+    """
     qmodel.sync()
     qmodel.model.eval()
     qmodel.model.forward(features_batch)
     param_to_name = {
         id(param): name for name, param in qmodel.model.named_parameters()
     }
+    parts: List[_RawFeatureParts] = []
     for layer in qmodel.model.weighted_layers():
         a_in, a_out = _layer_activation_summaries(layer)
         a_in_mean = float(a_in.mean()) if a_in.size else 0.0
@@ -193,11 +241,35 @@ def _iter_raw_parameter_features(
             name = param_to_name.get(id(param))
             if name is None or name not in qmodel.qtensors:
                 continue
-            if param.data.ndim == 2:
-                features = _features_for_weight(param.data, a_in, a_out)
-            else:
-                features = _features_for_vector(param.data, a_in_mean, a_out)
-            yield name, features
+            parts.append(
+                _RawFeatureParts(
+                    name=name, values=param.data,
+                    a_in=a_in, a_out=a_out, a_in_mean=a_in_mean,
+                )
+            )
+    return parts
+
+
+def _features_for_parts(parts: _RawFeatureParts) -> np.ndarray:
+    """The serial feature math for one parameter's collected parts."""
+    if parts.values.ndim == 2:
+        return _features_for_weight(parts.values, parts.a_in, parts.a_out)
+    return _features_for_vector(parts.values, parts.a_in_mean, parts.a_out)
+
+
+def _iter_raw_parameter_features(
+    qmodel: QuantizedModel, features_batch: np.ndarray
+) -> Iterator[Tuple[str, np.ndarray]]:
+    """Yield ``(name, raw_features)`` per quantized parameter after one forward pass."""
+    for parts in _collect_raw_parts(qmodel, features_batch):
+        yield parts.name, _features_for_parts(parts)
+
+
+def _fused_from_parts(parts: List[_RawFeatureParts]) -> "FusedParameterFeatures":
+    """Serial feature construction over already-collected parts (no forward)."""
+    return _assemble_fused(
+        [(entry.name, _features_for_parts(entry)) for entry in parts]
+    )
 
 
 def _normalized_feature_blocks(
@@ -321,6 +393,104 @@ def extract_parameter_features_raw(
     block separately.
     """
     return _assemble_fused(list(_iter_raw_parameter_features(qmodel, features_batch)))
+
+
+def extract_parameter_features_raw_stacked(
+    qmodels: List[QuantizedModel], feature_batches: List[np.ndarray]
+) -> List[FusedParameterFeatures]:
+    """Batched raw feature construction across homogeneous models.
+
+    Each model still runs its own forward pass (the activations depend on its
+    weights and its pool), but the per-parameter feature *construction* — the
+    elementwise broadcast math of ``_features_for_weight`` /
+    ``_features_for_vector`` — is executed once per parameter with the
+    devices stacked along a leading axis, instead of once per device per
+    parameter.  This is the ROADMAP's "batch the raw feature construction
+    across homogeneous devices" lever, built on the same segment-offset
+    arithmetic as the parameter arena
+    (:class:`~repro.quantization.arena.SegmentLayout`).
+
+    All models must share an architecture (same parameter names and shapes in
+    the same traversal order); :class:`HeterogeneousModelsError` is raised
+    otherwise.  The stacked math performs exactly the serial elementwise
+    operations (it calls the same kernels with a leading batch axis), so each
+    returned :class:`FusedParameterFeatures` is bit-identical to
+    :func:`extract_parameter_features_raw` of the corresponding model.
+    """
+    if len(qmodels) != len(feature_batches):
+        raise ValueError("qmodels and feature_batches must pair up")
+    if not qmodels:
+        return []
+    all_parts = [
+        _collect_raw_parts(qmodel, batch)
+        for qmodel, batch in zip(qmodels, feature_batches)
+    ]
+    return _stack_raw_parts(all_parts)
+
+
+def _stack_raw_parts(
+    all_parts: List[List[_RawFeatureParts]],
+) -> List[FusedParameterFeatures]:
+    """Stacked feature construction over already-collected per-model parts.
+
+    Split from :func:`extract_parameter_features_raw_stacked` so a caller
+    holding the collected parts (the fleet calibrator) can fall back to
+    per-model construction on :class:`HeterogeneousModelsError` without
+    re-running any forward pass.
+    """
+    from repro.quantization.arena import SegmentLayout
+
+    reference = all_parts[0]
+    signature = [parts.signature for parts in reference]
+    for model_parts in all_parts[1:]:
+        if [parts.signature for parts in model_parts] != signature:
+            raise HeterogeneousModelsError(
+                "stacked feature extraction requires homogeneous models "
+                "(same parameter names and shapes)"
+            )
+    layout = SegmentLayout(
+        [parts.name for parts in reference],
+        [parts.values.shape for parts in reference],
+    )
+    num_models = len(all_parts)
+    offsets = layout.offsets
+    stacked = np.empty(
+        (num_models, layout.size, NUM_FEATURES), dtype=runtime.get_dtype()
+    )
+    for index, parts in enumerate(reference):
+        start, stop = int(offsets[index]), int(offsets[index + 1])
+        block = stacked[:, start:stop, :]
+        entries = [model_parts[index] for model_parts in all_parts]
+        if parts.values.ndim == 2:
+            # The same kernel the serial extractor uses, with the devices as
+            # a leading batch axis.
+            block[...] = _features_for_weight(
+                np.stack([entry.values for entry in entries]),
+                np.stack([entry.a_in for entry in entries]),
+                np.stack([entry.a_out for entry in entries]),
+            )
+        else:
+            size = int(parts.values.reshape(-1).shape[0])
+            values = np.stack([entry.values.reshape(-1) for entry in entries])
+            a_outs = []
+            for entry in entries:
+                # The serial wrapper's a_out fix-up, applied per device.
+                a_out = entry.a_out
+                if a_out.shape[0] != size:
+                    a_out = np.full(
+                        size, float(np.mean(a_out)) if a_out.size else 0.0
+                    )
+                a_outs.append(a_out)
+            means = np.asarray(
+                [entry.a_in_mean for entry in entries], dtype=values.dtype
+            )
+            block[...] = _vector_features(values, means[:, None], np.stack(a_outs))
+    return [
+        FusedParameterFeatures(
+            names=list(layout.names), offsets=offsets, matrix=stacked[i]
+        )
+        for i in range(num_models)
+    ]
 
 
 class BitFlipNetwork(Module):
@@ -456,12 +626,16 @@ class BitFlipTrainer:
         calibration_epochs: int = 20,
         calibration_lr: float = 0.01,
         batch_size: int = 32,
+        fused: bool = True,
     ) -> BitFlipTrainingResult:
         """Calibrate ``qmodel`` with back-propagation and learn the BF network.
 
         The main model *is* calibrated by this call (it is the initial,
         server-side calibration of Figure 1(b)); the BF network is the
-        by-product that travels to the edge with the model.
+        by-product that travels to the edge with the model.  ``fused``
+        selects the flat-arena STE path of
+        :func:`~repro.quantization.calibration.calibrate_with_backprop`
+        (bit-identical at float64; ``False`` keeps the per-tensor loop).
         """
         if isinstance(calibration_data, QCoreSet):
             calibration_data = calibration_data.as_dataset()
@@ -508,6 +682,7 @@ class BitFlipTrainer:
             batch_size=batch_size,
             rng=self.rng,
             epoch_hook=hook,
+            fused=fused,
         )
 
         features = np.concatenate(collected_features, axis=0) if collected_features else np.zeros((0, NUM_FEATURES))

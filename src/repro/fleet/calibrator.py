@@ -22,6 +22,10 @@ from repro.core.bitflip import (
     NUM_FEATURES,
     BitFlipCalibrationStats,
     FeatureNormalizer,
+    HeterogeneousModelsError,
+    _collect_raw_parts,
+    _fused_from_parts,
+    _stack_raw_parts,
     extract_parameter_features_raw,
 )
 from repro.data.dataset import Dataset
@@ -83,7 +87,20 @@ class FleetCalibrator:
     network (the replicated-deployment case) share one forward per round;
     a fleet with ``G`` distinct networks runs ``G`` forwards per round instead
     of one per device.
+
+    Parameters
+    ----------
+    batch_features:
+        When true (the default), devices sharing an architecture also share
+        their raw feature *construction*: the elementwise feature math runs
+        once per parameter with the devices stacked along a leading axis
+        (:func:`~repro.core.bitflip.extract_parameter_features_raw_stacked`),
+        bit-identical to the per-device extractor.  ``False`` keeps the
+        per-device construction.
     """
+
+    def __init__(self, batch_features: bool = True):
+        self.batch_features = batch_features
 
     def calibrate(
         self,
@@ -158,20 +175,19 @@ class FleetCalibrator:
         """One calibration round's BF inference for every active device.
 
         Extracts each device's raw fused features (a forward pass of *that
-        device's* model over *its* pool — inherently per-device), then batches
-        everything per-row across the fleet: one affine normalisation over the
-        concatenated blocks of all devices with fully-fitted normalisers (the
-        moments are per parameter, so this is elementwise identical to
-        transforming block by block) and one BF network forward per distinct
-        network.  Predictions are scattered back as the per-name
-        ``(flips, confidence)`` maps the shared selection logic consumes.
-        Returns the number of BF forwards.
+        device's* model over *its* pool — inherently per-device, though the
+        feature *construction* after the forwards is stacked across
+        homogeneous devices), then batches everything per-row across the
+        fleet: one affine normalisation over the concatenated blocks of all
+        devices with fully-fitted normalisers (the moments are per parameter,
+        so this is elementwise identical to transforming block by block) and
+        one BF network forward per distinct network.  Predictions are
+        scattered back as the per-name ``(flips, confidence)`` maps the
+        shared selection logic consumes.  Returns the number of BF forwards.
         """
+        self._extract_features(active)
         groups: Dict[int, List[_DeviceState]] = {}
         for state in active:
-            state.fused = extract_parameter_features_raw(
-                state.deployment.qmodel, state.pool.features
-            )
             groups.setdefault(id(state.deployment.calibrator.network), []).append(state)
 
         for members in groups.values():
@@ -235,6 +251,54 @@ class FleetCalibrator:
                 state.fused = None
                 start = stop
         return len(groups)
+
+    def _extract_features(self, active: List[_DeviceState]) -> None:
+        """Fill each active device's raw fused features.
+
+        Devices sharing an architecture (same parameter names and shapes, the
+        replicated-fleet case) run their elementwise feature construction as
+        one stacked pass; singletons and heterogeneous stragglers fall back
+        to the per-device extractor.  Both produce bit-identical features.
+        """
+        pending = list(active)
+        if self.batch_features and len(active) > 1:
+            arch_groups: Dict[tuple, List[_DeviceState]] = {}
+            for state in active:
+                qmodel = state.deployment.qmodel
+                signature = (
+                    type(qmodel.model).__name__,
+                    tuple(
+                        (name, qt.codes.shape) for name, qt in qmodel.qtensors.items()
+                    ),
+                )
+                arch_groups.setdefault(signature, []).append(state)
+            pending = []
+            for members in arch_groups.values():
+                if len(members) < 2:
+                    pending.extend(members)
+                    continue
+                # Forwards run once here; stacking reuses the collected parts,
+                # and so does the fallback below — no forward runs twice.
+                all_parts = [
+                    _collect_raw_parts(
+                        state.deployment.qmodel, state.pool.features
+                    )
+                    for state in members
+                ]
+                try:
+                    fused_list = _stack_raw_parts(all_parts)
+                except HeterogeneousModelsError:
+                    # Same outer signature but diverging BF traversal — build
+                    # each device's features from its already-collected parts.
+                    for state, parts in zip(members, all_parts):
+                        state.fused = _fused_from_parts(parts)
+                    continue
+                for state, fused in zip(members, fused_list):
+                    state.fused = fused
+        for state in pending:
+            state.fused = extract_parameter_features_raw(
+                state.deployment.qmodel, state.pool.features
+            )
 
     @staticmethod
     def _normalization_template(

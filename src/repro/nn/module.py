@@ -116,7 +116,9 @@ class Module:
                     f"shape mismatch for {name}: expected {param.data.shape}, "
                     f"got {value.shape}"
                 )
-            param.data = value.copy()
+            # Writes through arena views for shared parameters; rebinds an
+            # owned copy otherwise (the historical behaviour).
+            param.assign(value)
 
     # -- computation ---------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:

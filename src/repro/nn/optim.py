@@ -66,7 +66,7 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = grad
-            param.data = param.data - self.lr * update
+            param.update_data(param.data - self.lr * update)
 
 
 class Adam(Optimizer):
@@ -106,4 +106,4 @@ class Adam(Optimizer):
             v += (1 - self.beta2) * grad ** 2
             m_hat = m / (1 - self.beta1 ** self._t)
             v_hat = v / (1 - self.beta2 ** self._t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.update_data(param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps))

@@ -28,6 +28,7 @@ class Parameter:
         self.grad = np.zeros_like(self.data)
         self.name = name
         self.requires_grad = requires_grad
+        self._shared = False
 
     @property
     def shape(self) -> tuple:
@@ -39,12 +40,78 @@ class Parameter:
         """Total number of scalar values in the parameter."""
         return int(self.data.size)
 
+    # -- arena-view-safe storage -------------------------------------------
+    @property
+    def is_shared(self) -> bool:
+        """Whether ``data`` is a view into shared storage (a parameter arena).
+
+        Shared parameters must be mutated in place — rebinding ``data`` would
+        silently detach them from the arena.  :meth:`assign` and
+        :meth:`update_data` honour this automatically.
+        """
+        return self._shared
+
+    def adopt_view(self, view: np.ndarray) -> None:
+        """Move this parameter's storage into ``view`` (a slice of an arena).
+
+        The current values are copied into the view, which then *becomes* the
+        parameter's storage; writers sharing the underlying buffer update the
+        parameter with zero copies.
+        """
+        if view.shape != self.data.shape:
+            raise ValueError(
+                f"view shape {view.shape} does not match parameter shape "
+                f"{self.data.shape} for parameter '{self.name}'"
+            )
+        view[...] = self.data
+        self.data = view
+        self._shared = True
+
+    def release_view(self) -> None:
+        """Detach from shared storage, keeping an owned copy of the values."""
+        if self._shared:
+            self.data = self.data.copy()
+            self._shared = False
+
+    def assign(self, values: np.ndarray) -> None:
+        """Replace the parameter values, preserving shared (arena) storage.
+
+        Owned parameters rebind to a fresh copy at the active compute dtype
+        (the historical ``load_state_dict`` behaviour); shared parameters are
+        written in place so arena views stay intact.
+        """
+        values = np.asarray(values)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"value shape {values.shape} does not match parameter shape "
+                f"{self.data.shape} for parameter '{self.name}'"
+            )
+        if self._shared:
+            self.data[...] = values
+        else:
+            self.data = np.array(values, dtype=runtime.get_dtype())
+
+    def update_data(self, new_value: np.ndarray) -> None:
+        """Adopt an already-computed update (optimiser step) without a copy.
+
+        Owned parameters simply rebind; shared parameters write through the
+        view.  ``new_value`` must already have the parameter's shape/dtype.
+        """
+        if self._shared:
+            self.data[...] = new_value
+        else:
+            self.data = new_value
+
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient to zero."""
-        self.grad = np.zeros_like(self.data)
+        """Reset the accumulated gradient to zero (in place).
+
+        The gradient array is stable across zero/accumulate cycles, so flat
+        views of it (the fused QAT gradient gather) stay valid.
+        """
+        self.grad[...] = 0.0
 
     def accumulate_grad(self, grad: np.ndarray) -> None:
-        """Add ``grad`` to the accumulated gradient.
+        """Add ``grad`` to the accumulated gradient (in place).
 
         Raises
         ------
@@ -57,7 +124,7 @@ class Parameter:
                 f"gradient shape {grad.shape} does not match parameter "
                 f"shape {self.data.shape} for parameter '{self.name}'"
             )
-        self.grad = self.grad + grad
+        self.grad += grad
 
     def copy(self) -> "Parameter":
         """Return a deep copy of this parameter (data and gradient)."""

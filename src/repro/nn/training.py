@@ -13,6 +13,13 @@ from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 
 
+#: Seed of the deterministic fallback generator :func:`iterate_minibatches`
+#: uses when ``shuffle=True`` and no ``rng`` is supplied.  A *fresh* generator
+#: is created per call, so repeated calls without a generator all replay the
+#: same shuffle order — pass an explicit generator for varied epochs.
+DEFAULT_SHUFFLE_SEED = 0
+
+
 def iterate_minibatches(
     features: np.ndarray,
     labels: np.ndarray,
@@ -29,7 +36,12 @@ def iterate_minibatches(
     batch_size:
         Maximum number of examples per batch (the final batch may be smaller).
     rng:
-        Generator used to shuffle; required when ``shuffle`` is true.
+        Generator used to shuffle.  When ``shuffle`` is true and no generator
+        is supplied, every call falls back to a fresh
+        ``np.random.default_rng(DEFAULT_SHUFFLE_SEED)`` — a deterministic,
+        *repeating* order.  All in-repo training loops pass their own
+        generator; the fallback exists so ad-hoc calls stay reproducible
+        rather than silently varying.
     shuffle:
         Whether to shuffle example order each call.
     """
@@ -40,7 +52,7 @@ def iterate_minibatches(
     count = features.shape[0]
     indices = np.arange(count)
     if shuffle:
-        generator = rng if rng is not None else np.random.default_rng(0)
+        generator = rng if rng is not None else np.random.default_rng(DEFAULT_SHUFFLE_SEED)
         generator.shuffle(indices)
     for start in range(0, count, batch_size):
         batch = indices[start : start + batch_size]

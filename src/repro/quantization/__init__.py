@@ -14,9 +14,14 @@ The paper quantizes full-precision classifier parameters to low bit-widths
     integer codes for bit-flip updates.
 ``calibrate_with_backprop``
     Quantization-aware calibration using the straight-through estimator, the
-    paper's server-side (one-time) calibration path.
+    paper's server-side (one-time) calibration path.  Runs over a flat
+    parameter arena by default (fused STE with lazy code materialization).
+``ParameterArena`` / ``SegmentLayout``
+    Flat multi-tensor storage with zero-copy per-parameter views, the engine
+    behind the fused QAT path.
 """
 
+from repro.quantization.arena import ParameterArena, SegmentLayout
 from repro.quantization.quantizer import QuantizationConfig, UniformQuantizer, QuantizedTensor
 from repro.quantization.qmodel import QuantizedModel, quantize_model
 from repro.quantization.calibration import calibrate_with_backprop, CalibrationResult
@@ -29,4 +34,6 @@ __all__ = [
     "quantize_model",
     "calibrate_with_backprop",
     "CalibrationResult",
+    "ParameterArena",
+    "SegmentLayout",
 ]

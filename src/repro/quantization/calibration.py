@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import runtime
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.training import iterate_minibatches
 from repro.quantization.qmodel import QuantizedModel
@@ -58,6 +59,7 @@ def calibrate_with_backprop(
     batch_size: int = 64,
     rng: Optional[np.random.Generator] = None,
     epoch_hook: Optional[EpochHook] = None,
+    fused: bool = True,
 ) -> CalibrationResult:
     """Calibrate ``qmodel`` on ``(features, labels)`` using STE back-propagation.
 
@@ -79,6 +81,16 @@ def calibrate_with_backprop(
         dictionaries snapshot every parameter's integer codes before and after
         the epoch.  The bit-flipping trainer uses this to build its training
         targets (Algorithm 2, lines 10–12).
+    fused:
+        When true (the default), the STE loop runs over a flat parameter
+        arena: gradients are gathered into one contiguous buffer, the latent
+        update is a single vectorized subtract, and re-quantization is one
+        segmented fake-quantization pass — integer codes are materialized
+        lazily at epoch boundaries, exactly where ``snapshot_codes`` /
+        ``epoch_hook`` read them.  Bit-identical to the per-tensor loop at
+        float64 (``fused=False`` keeps that loop as the comparison baseline).
+        The arena is enabled for the duration of the call and released
+        afterwards unless the model was already arena-backed.
 
     Returns
     -------
@@ -98,29 +110,83 @@ def calibrate_with_backprop(
     result = CalibrationResult()
     rng = rng if rng is not None else np.random.default_rng(0)
 
-    for epoch in range(epochs):
-        codes_before = qmodel.snapshot_codes()
-        epoch_loss = 0.0
-        epoch_correct = 0
-        count = 0
-        qmodel.model.train()
-        for batch_x, batch_y in iterate_minibatches(features, labels, batch_size, rng=rng):
-            qmodel.sync()  # forward pass sees quantized weights
-            qmodel.model.zero_grad()
-            logits = qmodel.model.forward(batch_x)
-            loss = loss_fn.forward(logits, batch_y)
-            qmodel.model.backward(loss_fn.backward())
-            # Straight-through estimator: the gradient w.r.t. the quantized
-            # weights is applied directly to the latent full-precision weights.
-            updates = {
-                name: lr * param.grad for name, param in qmodel.model.named_parameters()
-            }
-            qmodel.update_latent(updates)
-            epoch_loss += loss * batch_x.shape[0]
-            epoch_correct += int(np.sum(np.argmax(logits, axis=1) == batch_y))
-            count += batch_x.shape[0]
-        result.losses.append(epoch_loss / count)
-        result.accuracies.append(epoch_correct / count)
-        if epoch_hook is not None:
-            epoch_hook(epoch, qmodel, codes_before, qmodel.snapshot_codes())
+    owns_arena = False
+    if fused and qmodel.arena is None:
+        qmodel.enable_arena()
+        owns_arena = True
+    try:
+        if fused:
+            step = _FusedSTEStep(qmodel, lr)
+        for epoch in range(epochs):
+            # Code snapshots exist solely for the epoch hook; without one,
+            # skipping them keeps integer codes unmaterialized across the
+            # whole run (they are reconstructed on first read).
+            codes_before = qmodel.snapshot_codes() if epoch_hook is not None else None
+            epoch_loss = 0.0
+            epoch_correct = 0
+            count = 0
+            qmodel.model.train()
+            for batch_x, batch_y in iterate_minibatches(features, labels, batch_size, rng=rng):
+                qmodel.sync()  # forward pass sees quantized weights
+                qmodel.model.zero_grad()
+                logits = qmodel.model.forward(batch_x)
+                loss = loss_fn.forward(logits, batch_y)
+                qmodel.model.backward(loss_fn.backward())
+                # Straight-through estimator: the gradient w.r.t. the quantized
+                # weights is applied directly to the latent full-precision
+                # weights.
+                if fused:
+                    step.apply()
+                else:
+                    updates = {
+                        name: lr * param.grad
+                        for name, param in qmodel.model.named_parameters()
+                    }
+                    qmodel.update_latent(updates)
+                epoch_loss += loss * batch_x.shape[0]
+                epoch_correct += int(np.sum(np.argmax(logits, axis=1) == batch_y))
+                count += batch_x.shape[0]
+            result.losses.append(epoch_loss / count)
+            result.accuracies.append(epoch_correct / count)
+            if epoch_hook is not None:
+                epoch_hook(epoch, qmodel, codes_before, qmodel.snapshot_codes())
+    finally:
+        if owns_arena:
+            qmodel.disable_arena()
     return result
+
+
+class _FusedSTEStep:
+    """Preallocated gradient gather + flat latent update for one QAT run.
+
+    Gathers every parameter's gradient into a single buffer laid out like the
+    model's parameter arena, scales it by the learning rate in place, and
+    hands it to :meth:`QuantizedModel.update_latent_flat` — replacing the
+    per-batch dictionary build and per-tensor requantization of the serial
+    loop with a handful of whole-buffer vectorized passes.
+    """
+
+    def __init__(self, qmodel: QuantizedModel, lr: float):
+        if qmodel.arena is None:
+            raise RuntimeError("fused STE requires an arena-backed model")
+        self.qmodel = qmodel
+        self.lr = lr
+        layout = qmodel.arena.layout
+        self.buffer = runtime.empty(layout.size)
+        # (flat grad view, flat grad-destination view) pairs in arena order.
+        # Gradient arrays mutate strictly in place (see Parameter.zero_grad /
+        # accumulate_grad), so both sides can be cached for the whole run.
+        self.slots = [
+            (qmodel._params[name].grad.reshape(-1), segment)
+            for name, segment in layout.split(self.buffer)
+        ]
+
+    def apply(self) -> None:
+        # The learning-rate scaling *is* the gather: one scalar-operand
+        # multiply per parameter into the flat buffer, then a single
+        # whole-arena subtract and one fused requantization pass.
+        for grad, segment in self.slots:
+            np.multiply(grad, self.lr, out=segment)
+        arena = self.qmodel.arena
+        np.subtract(arena.latent, self.buffer, out=arena.latent)
+        self.qmodel._arena_after_latent_update()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy as _copy
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Set
 
@@ -10,6 +11,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.nn.training import evaluate as _evaluate
 from repro.nn.training import predict_labels, predict_proba
+from repro.quantization.arena import ParameterArena, SegmentLayout
 from repro.quantization.quantizer import (
     QuantizationConfig,
     QuantizedTensor,
@@ -41,9 +43,25 @@ class QuantizedModel:
     the hot loop become near no-ops instead of full-model rewrites.  Pass
     ``incremental=False`` to restore the original rewrite-everything behaviour
     (used by the performance benchmark as the comparison baseline).
+
+    **Arena mode** (``arena=True`` or :meth:`enable_arena`) replaces the
+    per-tensor dictionaries with one flat
+    :class:`~repro.quantization.arena.ParameterArena`: latent weights, integer
+    codes and the wrapped model's parameters all become zero-copy views into
+    contiguous buffers.  A full STE step is then a single vectorized subtract
+    plus one segmented fake-quantization pass (:meth:`update_latent_flat`),
+    and integer codes are materialized lazily only when read.  At float64 the
+    arena path is bit-identical to the per-tensor path; the public API
+    (``latent``, ``qtensors``, flips, snapshots) keeps working unchanged.
     """
 
-    def __init__(self, model: Module, config: QuantizationConfig, incremental: bool = True):
+    def __init__(
+        self,
+        model: Module,
+        config: QuantizationConfig,
+        incremental: bool = True,
+        arena: bool = False,
+    ):
         self.model = model
         self.config = config
         self.incremental = incremental
@@ -55,12 +73,100 @@ class QuantizedModel:
         self.qtensors: Dict[str, QuantizedTensor] = {}
         self._dirty: Set[str] = set()
         self._latent_stale: Set[str] = set()
+        self.arena: Optional[ParameterArena] = None
+        self._arena_codes_stale = False
         self.refresh_codes()
         self.sync()
+        if arena:
+            self.enable_arena()
+
+    # -- arena mode ---------------------------------------------------------
+    def enable_arena(self) -> ParameterArena:
+        """Switch to flat-arena storage (idempotent).
+
+        All three parameter representations move into contiguous buffers
+        (:class:`~repro.quantization.arena.ParameterArena`); ``latent``
+        values, ``qtensors[...].codes`` and the wrapped model's parameter
+        ``data`` become zero-copy views into them.  A QAT step then reduces
+        to one vectorized subtract plus one segmented fake-quantization pass
+        (:meth:`update_latent_flat`), with integer codes materialized lazily
+        when something actually reads them (:meth:`snapshot_codes` at epoch
+        boundaries, or the edge-side flip machinery).
+        """
+        if self.arena is not None:
+            return self.arena
+        self.sync()  # flush any pending per-tensor state first
+        layout = SegmentLayout.from_arrays(self.latent)
+        arena = ParameterArena(layout, self.config)
+        for name, segment in layout.split(arena.latent):
+            segment[...] = self.latent[name].reshape(-1)
+            self.latent[name] = arena.latent_view(name)
+        for name, segment in layout.split(arena.codes):
+            qt = self.qtensors[name]
+            segment[...] = qt.codes.reshape(-1)
+            qt.codes = arena.codes_view(name)
+            arena.scales[layout.index(name)] = qt.scale
+            arena.zero_points[layout.index(name)] = qt.zero_point
+        for name, param in self._params.items():
+            param.adopt_view(arena.weights_view(name))
+        self.arena = arena
+        self._arena_codes_stale = False
+        self._dirty.clear()
+        self._latent_stale.clear()
+        return arena
+
+    def disable_arena(self) -> None:
+        """Return to per-tensor owned storage (idempotent).
+
+        Codes are materialized first; every view is replaced by an owned
+        copy, so the model is byte-for-byte the one the arena represented.
+        """
+        if self.arena is None:
+            return
+        self._materialize_codes()
+        for name in list(self.latent):
+            self.latent[name] = np.array(self.latent[name])
+        for qt in self.qtensors.values():
+            qt.codes = np.array(qt.codes)
+        for param in self._params.values():
+            param.release_view()
+        self.arena = None
+        self._dirty = set()
+        # The latent buffer may carry sub-step residuals relative to the
+        # codes, exactly as after a QAT step in per-tensor incremental mode.
+        self._latent_stale = set(self.qtensors)
+
+    def _materialize_codes(self) -> None:
+        """Lazily materialize integer codes (and per-tensor scales) in arena mode."""
+        if self.arena is None or not self._arena_codes_stale:
+            return
+        self.arena.materialize()
+        for name, qt in self.qtensors.items():
+            qt.scale = self.arena.scale_of(name)
+            qt.zero_point = self.arena.zero_point_of(name)
+        self._arena_codes_stale = False
+
+    def _arena_after_code_mutation(self, codes_changed: bool = True) -> None:
+        """Refresh weights and collapse latent after edge-side code edits.
+
+        Even when no code actually moved, edge mutations collapse the latent
+        buffer onto the dequantized weights (discarding sub-step residuals) —
+        the exact semantics of the per-tensor path.
+        """
+        if codes_changed:
+            self.arena.write_weights_from_codes()
+        self.arena.collapse_latent()
+        self._dirty.clear()
+        self._latent_stale.clear()
 
     # -- representation management ----------------------------------------
     def refresh_codes(self) -> None:
         """Re-quantize the latent weights into integer codes (marks all dirty)."""
+        if self.arena is not None:
+            self.arena.requantize()
+            self._arena_codes_stale = True
+            self._materialize_codes()
+            return
         self.qtensors = {
             name: self._quantizer.quantize(values, name=name)
             for name, values in self.latent.items()
@@ -75,8 +181,14 @@ class QuantizedModel:
 
         Incremental mode rewrites only tensors whose codes changed since the
         last sync; ``force=True`` (or ``incremental=False``) rewrites every
-        tensor unconditionally.
+        tensor unconditionally.  In arena mode the weights buffer is kept
+        current by every mutation, so ``sync`` is a no-op unless forced.
         """
+        if self.arena is not None:
+            if force:
+                self._materialize_codes()
+                self.arena.write_weights_from_codes()
+            return
         if force or not self.incremental:
             dequantized = {name: qt.dequantize() for name, qt in self.qtensors.items()}
             self.model.load_state_dict(dequantized)
@@ -85,11 +197,13 @@ class QuantizedModel:
         if not self._dirty:
             return
         for name in self._dirty:
-            self._params[name].data = self.qtensors[name].dequantize()
+            # update_data: rebinds owned storage, writes through shared views.
+            self._params[name].update_data(self.qtensors[name].dequantize())
         self._dirty.clear()
 
     def snapshot_codes(self) -> Dict[str, np.ndarray]:
         """Return a copy of every parameter's integer codes (for diffing)."""
+        self._materialize_codes()
         return {name: qt.codes.copy() for name, qt in self.qtensors.items()}
 
     def restore_codes(self, snapshot: Dict[str, np.ndarray]) -> None:
@@ -103,18 +217,32 @@ class QuantizedModel:
         unknown = set(snapshot) - set(self.qtensors)
         if unknown:
             raise KeyError(f"unknown parameters in snapshot: {sorted(unknown)}")
+        # Validate every entry before mutating anything, so a failed call
+        # leaves the model untouched (same guarantee as update_latent).
+        validated: Dict[str, np.ndarray] = {}
         for name, codes in snapshot.items():
-            qt = self.qtensors[name]
             codes = np.asarray(codes, dtype=np.int64)
-            if codes.shape != qt.codes.shape:
+            if codes.shape != self.qtensors[name].codes.shape:
                 raise ValueError(
                     f"snapshot shape {codes.shape} does not match codes shape "
-                    f"{qt.codes.shape} for parameter {name!r}"
+                    f"{self.qtensors[name].codes.shape} for parameter {name!r}"
                 )
+            validated[name] = codes
+        self._materialize_codes()
+        changed = False
+        for name, codes in validated.items():
+            qt = self.qtensors[name]
             if self.incremental and np.array_equal(qt.codes, codes):
                 continue
-            qt.codes = codes.copy()
+            if self.arena is not None:
+                qt.codes[...] = codes  # write through the arena view
+            else:
+                qt.codes = codes.copy()
+            changed = True
             self._dirty.add(name)
+        if self.arena is not None:
+            self._arena_after_code_mutation(codes_changed=changed)
+            return
         self._sync_and_collapse_latent()
 
     def apply_flips(self, flips: Dict[str, np.ndarray]) -> None:
@@ -128,9 +256,25 @@ class QuantizedModel:
         unknown = set(flips) - set(self.qtensors)
         if unknown:
             raise KeyError(f"unknown parameters in flips: {sorted(unknown)}")
+        # Validate every entry before mutating anything (mirrors the checks
+        # QuantizedTensor.apply_flips makes), so a failed call leaves the
+        # model untouched instead of half-flipped.
+        for name, flip in flips.items():
+            flip = np.asarray(flip)
+            if flip.shape != self.qtensors[name].codes.shape:
+                raise ValueError(
+                    f"flip shape {flip.shape} does not match code shape "
+                    f"{self.qtensors[name].codes.shape} for parameter {name!r}"
+                )
+            if flip.size and np.max(np.abs(flip)) > 1:
+                raise ValueError("flips must only contain values in {-1, 0, +1}")
+        self._materialize_codes()
         for name, flip in flips.items():
             self.qtensors[name].apply_flips(flip)
             self._dirty.add(name)
+        if self.arena is not None:
+            self._arena_after_code_mutation(codes_changed=bool(flips))
+            return
         self._sync_and_collapse_latent()
 
     def _sync_and_collapse_latent(self) -> None:
@@ -157,10 +301,38 @@ class QuantizedModel:
         self._latent_stale.clear()
 
     def update_latent(self, updates: Dict[str, np.ndarray]) -> None:
-        """Subtract ``updates`` from the latent weights (QAT / STE step) and requantize."""
+        """Subtract ``updates`` from the latent weights (QAT / STE step) and requantize.
+
+        All parameter names are validated up front, so a call containing an
+        unknown name raises :class:`KeyError` *before* any latent weight is
+        touched and leaves the model in its previous state.
+        """
+        unknown = set(updates) - set(self.latent)
+        if unknown:
+            raise KeyError(f"unknown parameters in updates: {sorted(unknown)}")
+        if self.arena is not None:
+            full = len(updates) == len(self.latent)
+            if not full:
+                # Untouched tensors must keep their codes *and* scales, so
+                # concretise everything before the partial refresh below.
+                self._materialize_codes()
+            for name, delta in updates.items():
+                self.latent[name] -= delta  # in place, through the arena view
+            if full:
+                self._arena_after_latent_update()
+            else:
+                for name in updates:
+                    fresh = self._quantizer.quantize(self.latent[name], name=name)
+                    qt = self.qtensors[name]
+                    qt.codes[...] = fresh.codes
+                    qt.scale = fresh.scale
+                    qt.zero_point = fresh.zero_point
+                    index = self.arena.layout.index(name)
+                    self.arena.scales[index] = fresh.scale
+                    self.arena.zero_points[index] = fresh.zero_point
+                    self.arena.weights_view(name)[...] = fresh.dequantize()
+            return
         for name, delta in updates.items():
-            if name not in self.latent:
-                raise KeyError(f"unknown parameter {name!r}")
             self.latent[name] = self.latent[name] - delta
         if self.incremental:
             for name in updates:
@@ -170,6 +342,33 @@ class QuantizedModel:
         else:
             self.refresh_codes()
         self.sync()
+
+    def update_latent_flat(self, flat_delta: np.ndarray) -> None:
+        """Arena-mode STE step: subtract a flat delta from the whole latent buffer.
+
+        ``flat_delta`` must be laid out like the arena's latent buffer
+        (:attr:`ParameterArena.layout` order — the wrapped model's
+        ``named_parameters`` order).  One vectorized subtract plus one
+        segmented fake-quantization replaces the per-tensor loop; integer
+        codes stay unmaterialized until something reads them.
+        """
+        if self.arena is None:
+            raise RuntimeError("update_latent_flat requires arena mode (enable_arena())")
+        flat_delta = np.asarray(flat_delta).reshape(-1)
+        if flat_delta.shape != self.arena.latent.shape:
+            raise ValueError(
+                f"flat delta has {flat_delta.shape[0]} elements, arena holds "
+                f"{self.arena.latent.shape[0]}"
+            )
+        np.subtract(self.arena.latent, flat_delta, out=self.arena.latent)
+        self._arena_after_latent_update()
+
+    def _arena_after_latent_update(self) -> None:
+        """Fused requantize after a latent mutation; codes become lazily stale."""
+        self.arena.requantize()
+        self._arena_codes_stale = True
+        self._dirty.clear()
+        self._latent_stale.clear()
 
     # -- inference ----------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -218,6 +417,7 @@ class QuantizedModel:
         """
         import hashlib
 
+        self._materialize_codes()
         digest = hashlib.sha256()
         for name in sorted(self.qtensors):
             qt = self.qtensors[name]
@@ -228,6 +428,7 @@ class QuantizedModel:
 
     def quantization_error(self) -> float:
         """Mean absolute difference between latent and dequantized weights."""
+        self._materialize_codes()
         errors = [
             np.abs(self.latent[name] - qt.dequantize()).mean()
             for name, qt in self.qtensors.items()
@@ -235,32 +436,63 @@ class QuantizedModel:
         ]
         return float(np.mean(errors)) if errors else 0.0
 
-    def clone(self) -> "QuantizedModel":
-        """Deep copy sharing nothing with the original (used per-stream in Fig. 7)."""
-        import copy
+    def __deepcopy__(self, memo: dict) -> "QuantizedModel":
+        """Deep copy that keeps arena mode intact.
 
-        clone = QuantizedModel.__new__(QuantizedModel)
-        clone.model = copy.deepcopy(self.model)
-        clone.config = self.config
-        clone.incremental = self.incremental
-        clone._quantizer = UniformQuantizer(self.config)
-        clone._params = dict(clone.model.named_parameters())
-        clone.latent = {name: values.copy() for name, values in self.latent.items()}
-        clone.qtensors = {name: qt.copy() for name, qt in self.qtensors.items()}
-        # The deep-copied model already holds the synchronised weights, so the
-        # clone only inherits whatever was still pending on the original.
-        clone._dirty = set(self._dirty)
-        clone._latent_stale = set(self._latent_stale)
-        clone.sync()
+        A naive field-wise deepcopy of an arena-backed wrapper would turn
+        every view (latent, codes, parameter data) into an owned array while
+        the copied arena buffers sit disconnected — updates would then
+        silently stop reaching the model weights.  Instead, codes are
+        materialized, the non-arena state is deep-copied with the memo (so
+        aliasing inside the object graph is preserved), and the copy rebuilds
+        its own arena.
+        """
+        self._materialize_codes()
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "arena":
+                continue
+            setattr(clone, key, _copy.deepcopy(value, memo))
+        clone.arena = None
+        if self.arena is not None:
+            # The copied views became owned arrays; reflect that, then give
+            # the copy a fresh arena of its own.
+            for param in clone._params.values():
+                param._shared = False
+            clone._arena_codes_stale = False
+            clone._dirty = set()
+            clone._latent_stale = set(clone.qtensors)
+            clone.enable_arena()
         return clone
+
+    def clone(self) -> "QuantizedModel":
+        """Deep copy sharing nothing with the original (used per-stream in Fig. 7).
+
+        Delegates to :meth:`__deepcopy__`, the single copy path that knows
+        how to rebuild arena-backed storage; a clone of an arena-backed model
+        is itself arena-backed (with its own buffers).
+        """
+        return _copy.deepcopy(self)
 
 
 def quantize_model(
-    model: Module, bits: int, symmetric: bool = True, incremental: bool = True
+    model: Module,
+    bits: int,
+    symmetric: bool = True,
+    incremental: bool = True,
+    arena: bool = False,
 ) -> QuantizedModel:
-    """Convenience constructor: quantize ``model`` at ``bits`` bits."""
+    """Convenience constructor: quantize ``model`` at ``bits`` bits.
+
+    ``arena=True`` builds the wrapper in flat-arena mode (see
+    :meth:`QuantizedModel.enable_arena`), the fast configuration for QAT.
+    """
     return QuantizedModel(
-        model, QuantizationConfig(bits=bits, symmetric=symmetric), incremental=incremental
+        model,
+        QuantizationConfig(bits=bits, symmetric=symmetric),
+        incremental=incremental,
+        arena=arena,
     )
 
 

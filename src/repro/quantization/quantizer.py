@@ -9,7 +9,7 @@ asymmetric (min/max) variants, both per tensor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -92,8 +92,12 @@ class QuantizedTensor:
             )
         if flips.size and np.max(np.abs(flips)) > 1:
             raise ValueError("flips must only contain values in {-1, 0, +1}")
-        self.codes = np.clip(
-            self.codes + flips.astype(np.int64), self.config.qmin, self.config.qmax
+        # In place, so codes that are views into a parameter arena stay bound.
+        np.clip(
+            self.codes + flips.astype(np.int64),
+            self.config.qmin,
+            self.config.qmax,
+            out=self.codes,
         )
 
     def copy(self) -> "QuantizedTensor":
@@ -133,20 +137,26 @@ class UniformQuantizer:
         cfg = self.config
         if cfg.symmetric:
             max_abs = float(np.max(np.abs(values))) if values.size else 0.0
-            if max_abs == 0.0:
+            scale = max_abs / cfg.qmax
+            if scale == 0.0:  # all-zero tensor, or subnormal range underflow
                 scale = 1.0
-            else:
-                scale = max_abs / cfg.qmax
             zero_point = 0
         else:
-            vmin = float(values.min()) if values.size else 0.0
-            vmax = float(values.max()) if values.size else 0.0
-            if vmax == vmin:
+            # The affine scheme requires the represented range to include
+            # zero — otherwise skewed ranges (e.g. all-positive bands far
+            # from the origin) push the zero point outside the code range.
+            vmin = min(float(values.min()), 0.0) if values.size else 0.0
+            vmax = max(float(values.max()), 0.0) if values.size else 0.0
+            scale = (vmax - vmin) / (cfg.qmax - cfg.qmin)
+            if scale == 0.0:  # constant tensor, or subnormal range underflow
                 scale = 1.0
                 zero_point = 0
             else:
-                scale = (vmax - vmin) / (cfg.qmax - cfg.qmin)
-                zero_point = int(round(cfg.qmin - vmin / scale))
+                # With zero in range the zero point lands in [qmin, qmax] up
+                # to rounding; the clamp guards the boundary.
+                zero_point = int(
+                    np.clip(round(cfg.qmin - vmin / scale), cfg.qmin, cfg.qmax)
+                )
         codes = np.clip(np.round(values / scale) + zero_point, cfg.qmin, cfg.qmax)
         return QuantizedTensor(
             codes=codes.astype(np.int64),
@@ -155,6 +165,131 @@ class UniformQuantizer:
             config=cfg,
             name=name,
         )
+
+    # -- segmented (flat-arena) operations ---------------------------------
+    def quantize_segments(
+        self, flat: np.ndarray, offsets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-segment ``(scales, zero_points)`` over a flat buffer.
+
+        ``flat`` is a 1-D concatenation of parameter tensors and ``offsets``
+        the ``n + 1`` segment boundaries (``flat[offsets[i]:offsets[i + 1]]``
+        is segment ``i``).  The per-segment range reductions run as single
+        ``np.maximum.reduceat`` / ``np.minimum.reduceat`` passes over the
+        whole buffer, so the cost no longer scales with the *number* of
+        tensors — the key ingredient of the fused QAT step.
+
+        Scale arithmetic happens in float64 exactly like the scalar
+        :meth:`quantize` path (which round-trips through python floats), so
+        the returned scales and zero points equal the scalar path's at any
+        compute dtype.  Empty segments get the same ``(1.0, 0)`` fallback an
+        empty tensor gets.
+        """
+        flat = np.asarray(flat).reshape(-1)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        num_segments = len(offsets) - 1
+        cfg = self.config
+        scales = np.ones(num_segments, dtype=np.float64)
+        zero_points = np.zeros(num_segments, dtype=np.int64)
+        sizes = np.diff(offsets)
+        valid = sizes > 0
+        if flat.size == 0 or not np.any(valid):
+            return scales, zero_points
+        # reduceat over the starts of non-empty segments only: empty segments
+        # occupy zero width, so consecutive retained starts still delimit
+        # exactly one segment each.
+        starts = offsets[:-1][valid]
+        if cfg.symmetric:
+            max_abs = np.maximum.reduceat(np.abs(flat), starts).astype(np.float64)
+            seg_scales = max_abs / cfg.qmax
+            # == 0.0 covers both all-zero segments and subnormal-magnitude
+            # ranges whose scale underflowed — the scalar path's fallback.
+            scales[valid] = np.where(seg_scales == 0.0, 1.0, seg_scales)
+        else:
+            # Zero-inclusive range, mirroring the scalar path exactly.
+            vmin = np.minimum(np.minimum.reduceat(flat, starts).astype(np.float64), 0.0)
+            vmax = np.maximum(np.maximum.reduceat(flat, starts).astype(np.float64), 0.0)
+            seg_scales = (vmax - vmin) / (cfg.qmax - cfg.qmin)
+            degenerate = seg_scales == 0.0  # constant segment or underflow
+            seg_scales = np.where(degenerate, 1.0, seg_scales)
+            seg_zero = np.where(
+                degenerate, 0.0, np.round(cfg.qmin - vmin / seg_scales)
+            )
+            seg_zero = np.clip(seg_zero, cfg.qmin, cfg.qmax)
+            scales[valid] = seg_scales
+            zero_points[valid] = seg_zero.astype(np.int64)
+        return scales, zero_points
+
+    def _expand_segments(
+        self, offsets: np.ndarray, scales: np.ndarray, zero_points: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Repeat per-segment scales / zero points out to per-element arrays."""
+        sizes = np.diff(np.asarray(offsets, dtype=np.int64))
+        return np.repeat(scales, sizes), np.repeat(zero_points, sizes)
+
+    def quantize_flat(
+        self,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        scales: np.ndarray,
+        zero_points: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Integer codes of a flat buffer under per-segment scales.
+
+        One fused divide / round / clip over the whole buffer; ``out`` (int64)
+        receives the codes when given.  The arithmetic runs in float64 (the
+        per-element scale expansion), so at float64 compute this is
+        bit-identical to quantizing each segment with the scalar path; at
+        float32 the scalar path computes in float32 and may round a borderline
+        value differently by one code.
+        """
+        flat = np.asarray(flat).reshape(-1)
+        cfg = self.config
+        seg_scale, seg_zero = self._expand_segments(offsets, scales, zero_points)
+        codes = np.clip(np.round(flat / seg_scale) + seg_zero, cfg.qmin, cfg.qmax)
+        if out is None:
+            return codes.astype(np.int64)
+        out[...] = codes  # exact integers, so the float -> int64 cast is lossless
+        return out
+
+    def fake_quantize_flat(
+        self,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        scales: Optional[np.ndarray] = None,
+        zero_points: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused quantize-then-dequantize over a flat multi-tensor buffer.
+
+        This is one straight-through-estimator step over the whole parameter
+        arena: segment ranges, rounding, clipping and the affine
+        reconstruction all happen as a handful of vectorized passes, without
+        materializing integer codes (they are only *read* at epoch
+        boundaries; see :meth:`quantize_flat`).  Returns
+        ``(values, scales, zero_points)``; ``out`` receives the dequantized
+        values when given.
+
+        Like :meth:`quantize_flat`, the element-wise arithmetic runs in
+        float64: bit-identical to the per-tensor path at float64 compute, up
+        to one rounding step apart at float32 (the symmetric fast path in
+        :class:`~repro.quantization.arena.ParameterArena` matches the
+        per-tensor float32 semantics exactly; this generic fallback serves
+        asymmetric configs and sparse layouts).
+        """
+        flat = np.asarray(flat).reshape(-1)
+        if scales is None or zero_points is None:
+            scales, zero_points = self.quantize_segments(flat, offsets)
+        cfg = self.config
+        seg_scale, seg_zero = self._expand_segments(offsets, scales, zero_points)
+        codes = np.clip(np.round(flat / seg_scale) + seg_zero, cfg.qmin, cfg.qmax)
+        codes -= seg_zero
+        codes *= seg_scale
+        if out is None:
+            return codes.astype(runtime.get_dtype(), copy=False), scales, zero_points
+        out[...] = codes
+        return out, scales, zero_points
 
     def fake_quantize(self, values: np.ndarray) -> np.ndarray:
         """Quantize then immediately dequantize (simulated quantization).

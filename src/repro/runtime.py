@@ -117,6 +117,15 @@ def zeros(shape) -> np.ndarray:
     return np.zeros(shape, dtype=_compute_dtype)
 
 
+def empty(shape) -> np.ndarray:
+    """An uninitialised array of the active compute dtype.
+
+    For preallocated scratch buffers on hot paths (e.g. the fused QAT
+    gradient gather) where every element is overwritten before being read.
+    """
+    return np.empty(shape, dtype=_compute_dtype)
+
+
 def ones(shape) -> np.ndarray:
     """An all-one array of the active compute dtype."""
     return np.ones(shape, dtype=_compute_dtype)

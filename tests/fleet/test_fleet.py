@@ -139,6 +139,55 @@ class TestFleetCalibrator:
         assert result.serial_forward_calls == 4 * result.rounds
         assert result.total_flips > 0
 
+    def test_stacked_feature_construction_bit_identical(self, packaged):
+        """Stacked raw feature construction equals the per-device extractor."""
+        from repro.core.bitflip import (
+            extract_parameter_features_raw,
+            extract_parameter_features_raw_stacked,
+        )
+
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 3, seed=0)
+        pools = _pools(data, fleet.ids)
+        qmodels = [fleet.get(i).qmodel for i in fleet.ids]
+        batches = [pools[i].features for i in fleet.ids]
+        stacked = extract_parameter_features_raw_stacked(qmodels, batches)
+        for qmodel, batch, fused in zip(qmodels, batches, stacked):
+            reference = extract_parameter_features_raw(qmodel, batch)
+            assert fused.names == reference.names
+            np.testing.assert_array_equal(fused.offsets, reference.offsets)
+            np.testing.assert_array_equal(fused.matrix, reference.matrix)
+
+    def test_stacked_extraction_rejects_heterogeneous_models(self, packaged):
+        from repro.core.bitflip import extract_parameter_features_raw_stacked
+        from repro.models import build_model
+        from repro.quantization import quantize_model
+
+        data, _, deployment = packaged
+        other = quantize_model(
+            build_model("MLP", (6,), 3, rng=np.random.default_rng(0)), bits=4
+        )
+        with pytest.raises(ValueError):
+            extract_parameter_features_raw_stacked(
+                [deployment.qmodel, other],
+                [data[data.domain_names[1]].train.features[:4], np.zeros((4, 6))],
+            )
+
+    def test_per_device_feature_fallback_matches_batched(self, packaged):
+        """batch_features=False walks the identical trajectory."""
+        data, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 3, seed=0)
+        reference = Fleet({i: d.clone() for i, d in fleet.items()})
+        pools = _pools(data, fleet.ids)
+        batched = FleetCalibrator(batch_features=True).calibrate(fleet, pools)
+        per_device = FleetCalibrator(batch_features=False).calibrate(reference, pools)
+        assert fleet.codes_digests() == reference.codes_digests()
+        for device_id in fleet.ids:
+            assert (
+                batched.stats[device_id].flips_per_epoch
+                == per_device.stats[device_id].flips_per_epoch
+            )
+
     def test_stats_match_serial_calibrator(self, packaged):
         data, _, deployment = packaged
         fleet = Fleet.replicate(deployment, 3, seed=0)

@@ -59,15 +59,20 @@ def build_dataset():
     return make_dsa_surrogate(seed=SEED, config=GOLDEN_TS)
 
 
-def build_packaged_deployment(data):
-    """One server-side packaged deployment: trained model + BF net + QCore."""
+def build_packaged_deployment(data, qat_fused=True):
+    """One server-side packaged deployment: trained model + BF net + QCore.
+
+    ``qat_fused`` selects the flat-arena STE engine for the server-side QAT
+    calibration (the default everywhere); the goldens assert both settings
+    produce the pinned numbers, so the fused engine cannot silently drift.
+    """
     model = build_model(
         "InceptionTime", data.input_shape, data.num_classes,
         rng=np.random.default_rng(SEED),
     )
     framework = QCoreFramework(
         levels=(4,), qcore_size=12, train_epochs=3, calibration_epochs=4,
-        edge_calibration_epochs=2, seed=SEED,
+        edge_calibration_epochs=2, seed=SEED, qat_fused=qat_fused,
     )
     framework.fit(model, data[data.domain_names[0]].train)
     return framework.deploy(bits=4)

@@ -92,6 +92,22 @@ class TestFlipDecisionGoldens:
             )
 
 
+class TestFusedQATGoldens:
+    def test_serial_qat_packaging_matches_pinned_digest(self, fixture, data, packaged):
+        """The per-tensor STE loop and the fused arena engine must package
+        byte-identical deployments (same integer codes, same BF supervision),
+        both equal to the committed golden."""
+        serial = gs.build_packaged_deployment(data, qat_fused=False)
+        golden = fixture["flip_decisions"]["initial_digest"]
+        assert packaged.qmodel.codes_digest() == golden
+        assert serial.qmodel.codes_digest() == golden
+        # The BF networks were trained on identical (features, target) pairs,
+        # so their quantized weights agree exactly as well.
+        fused_state = packaged.bitflip.state_dict()
+        for name, values in serial.bitflip.state_dict().items():
+            np.testing.assert_array_equal(fused_state[name], values)
+
+
 class TestAccuracyGoldens:
     def _assert_matches(self, results, fixture):
         golden = fixture["accuracies"]

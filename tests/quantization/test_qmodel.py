@@ -57,6 +57,52 @@ class TestQuantizedModel:
         with pytest.raises(KeyError):
             qmodel.apply_flips({"nope": np.zeros(3)})
 
+    @pytest.mark.parametrize("arena", [False, True])
+    def test_apply_flips_bad_entry_leaves_model_untouched(
+        self, small_classification_data, rng, arena
+    ):
+        """A failed flip call must not partially apply earlier dict entries."""
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4, arena=arena)
+        valid_name = next(iter(qmodel.qtensors))
+        digest_before = qmodel.codes_digest()
+        weights_before = {
+            name: param.data.copy() for name, param in qmodel.model.named_parameters()
+        }
+        good = np.ones_like(qmodel.qtensors[valid_name].codes)
+        for bad in (
+            {valid_name: good, "nope": np.zeros(3)},                        # unknown name
+            {valid_name: good, list(qmodel.qtensors)[-1]: np.zeros((1, 1))},  # bad shape
+            {valid_name: good, list(qmodel.qtensors)[-1]:                   # bad values
+             np.full_like(qmodel.qtensors[list(qmodel.qtensors)[-1]].codes, 2)},
+        ):
+            with pytest.raises((KeyError, ValueError)):
+                qmodel.apply_flips(bad)
+            assert qmodel.codes_digest() == digest_before
+            for name, param in qmodel.model.named_parameters():
+                np.testing.assert_array_equal(param.data, weights_before[name])
+
+    @pytest.mark.parametrize("arena", [False, True])
+    def test_update_latent_unknown_name_leaves_model_untouched(
+        self, small_classification_data, rng, arena
+    ):
+        """A failed update must not partially apply earlier dict entries."""
+        x, y = small_classification_data
+        qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4, arena=arena)
+        valid_name = next(iter(qmodel.latent))
+        latent_before = {
+            name: np.array(values) for name, values in qmodel.latent.items()
+        }
+        digest_before = qmodel.codes_digest()
+        # The valid entry comes first: without up-front validation it would
+        # have been applied before the unknown name raised.
+        updates = {valid_name: np.ones_like(latent_before[valid_name]), "nope": np.zeros(3)}
+        with pytest.raises(KeyError):
+            qmodel.update_latent(updates)
+        assert qmodel.codes_digest() == digest_before
+        for name, values in latent_before.items():
+            np.testing.assert_array_equal(np.asarray(qmodel.latent[name]), values)
+
     def test_clone_is_independent(self, small_classification_data, rng):
         x, y = small_classification_data
         qmodel = quantize_model(_make_trained_model(x, y, rng), bits=4)

@@ -64,6 +64,50 @@ class TestUniformQuantizer:
         assert abs(reconstructed.min() - values.min()) < 0.05
         assert abs(reconstructed.max() - values.max()) < 0.05
 
+    def test_asymmetric_zero_point_stays_in_code_range(self):
+        """Extremely skewed ranges must not push the zero point out of range.
+
+        A narrow all-positive band far from the origin used to produce a
+        zero point of about -15000 at 4 bits; the zero-inclusive range plus
+        the clamp pins it inside ``[qmin, qmax]``.
+        """
+        cfg = QuantizationConfig(bits=4, symmetric=False)
+        quantizer = UniformQuantizer(cfg)
+        for values in (
+            np.linspace(1000.0, 1001.0, 32),   # positive band, tiny spread
+            np.linspace(-2001.0, -2000.0, 32),  # negative band
+            np.array([5e8, 5e8 + 1.0]),         # pathological magnitude
+        ):
+            qt = quantizer.quantize(values)
+            assert cfg.qmin <= qt.zero_point <= cfg.qmax, values[:2]
+            assert qt.codes.min() >= cfg.qmin and qt.codes.max() <= cfg.qmax
+            # Reconstruction error stays bounded by half a step.
+            assert np.max(np.abs(qt.dequantize() - values)) <= qt.scale / 2 + 1e-9
+
+    @pytest.mark.parametrize("symmetric", [True, False])
+    def test_subnormal_range_does_not_crash(self, symmetric):
+        """Scale underflow to 0.0 falls back to unit scale, like zero tensors."""
+        quantizer = UniformQuantizer(QuantizationConfig(bits=4, symmetric=symmetric))
+        values = np.full(5, 5e-324)  # smallest positive subnormal
+        qt = quantizer.quantize(values)
+        assert qt.scale == 1.0
+        assert qt.zero_point == 0
+        np.testing.assert_array_equal(qt.codes, 0)
+        # The segmented path agrees.
+        scales, zero_points = quantizer.quantize_segments(values, np.array([0, 5]))
+        assert scales[0] == 1.0 and zero_points[0] == 0
+
+    def test_asymmetric_range_includes_zero(self):
+        """The affine scheme quantizes over [min(v, 0), max(v, 0)]."""
+        cfg = QuantizationConfig(bits=8, symmetric=False)
+        quantizer = UniformQuantizer(cfg)
+        values = np.linspace(2.0, 5.0, 50)
+        qt = quantizer.quantize(values)
+        assert qt.scale == pytest.approx(5.0 / (cfg.qmax - cfg.qmin))
+        assert qt.zero_point == 0
+        # Zero itself is exactly representable.
+        assert 0.0 in qt.dequantize() or qt.scale * (0 - qt.zero_point) == 0.0
+
     def test_paper_figure2_example(self):
         # Figure 2: with 3-bit quantization over levels spaced by 10, the value
         # 17.831 falls in [15, 25) and maps to the level 20.
