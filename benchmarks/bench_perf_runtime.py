@@ -21,6 +21,13 @@ entry tracks that configuration).  Bit-identity of the fused engine at
 float64 — final integer codes, per-epoch code snapshots and latent weights —
 is asserted, not just measured.
 
+The ``conv_kernels`` entry measures the **strided conv-kernel backend**
+(PR 5, :mod:`repro.nn.kernels`: ``as_strided`` window views + fused blocked
+tap-loop col2im) against the ``naive`` gather/bincount baseline on the
+conv-backbone QAT workload (InceptionTime) at float32, and asserts at
+float64 that edge-calibration flip decisions and QAT integer codes are
+bit-identical across backends.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_runtime.py           # full run
@@ -45,6 +52,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np
 
 from repro import nn, runtime
+from repro.nn import kernels
 from repro.core.bitflip import (
     BitFlipCalibrator,
     BitFlipNetwork,
@@ -67,6 +75,7 @@ FULL_CONFIG = dict(
     # calibrated with small batches (the overhead-dominated STE regime).
     qat_mlp_hidden=(128, 64), qat_fused_pool=144, qat_fused_batch=8,
     qat_fused_epochs=6, qat_fused_repeats=9,
+    conv_kernel_epochs=2, conv_kernel_repeats=4,
 )
 SMOKE_CONFIG = dict(
     num_classes=3, num_domains=2, channels=3, length=16,
@@ -76,6 +85,7 @@ SMOKE_CONFIG = dict(
     edge_epochs=1, edge_repeats=1,
     qat_mlp_hidden=(16, 8), qat_fused_pool=18, qat_fused_batch=8,
     qat_fused_epochs=2, qat_fused_repeats=1,
+    conv_kernel_epochs=1, conv_kernel_repeats=1,
 )
 
 
@@ -147,6 +157,70 @@ def _measure_qat(config: dict, dtype) -> float:
             )
             timings.append(time.perf_counter() - start)
         return float(np.median(timings)) / config["qat_epochs"]
+
+
+def _measure_conv_kernel(config: dict, backend: str) -> float:
+    """Conv-backbone QAT seconds per epoch at float32 for one conv backend.
+
+    The whole stack — backbone training, quantization and the calibration
+    epochs — runs under the named backend so each mode measures a coherent
+    configuration (mirrors ``_measure_edge``).
+    """
+    with runtime.use_dtype(np.float32), kernels.use_backend(backend):
+        qmodel, _, _, _, source = _build_setup(config, incremental=True)
+        timings = []
+        for repeat in range(config["conv_kernel_repeats"]):
+            start = time.perf_counter()
+            calibrate_with_backprop(
+                qmodel, source.features, source.labels,
+                epochs=config["conv_kernel_epochs"], lr=0.01, batch_size=32,
+                rng=np.random.default_rng(repeat),
+            )
+            timings.append(time.perf_counter() - start)
+        return float(np.median(timings)) / config["conv_kernel_epochs"]
+
+
+def _check_conv_kernel_equivalence(config: dict) -> dict:
+    """At float64 the strided conv backend must equal the naive one exactly.
+
+    Compares the decisions that matter to the paper: edge-calibration flip
+    decisions (integer codes + per-epoch flip counts, through the conv
+    backbone's forward activations feeding the BF features) and QAT
+    integer codes after STE calibration, each run under both backends from
+    identical deep-copied starting states.
+    """
+    with runtime.use_dtype(np.float64):
+        qmodel, network, normalizer, pool, source = _build_setup(config, incremental=True)
+
+        def run(backend):
+            edge_q = copy.deepcopy(qmodel)
+            with kernels.use_backend(backend):
+                calibrator = BitFlipCalibrator(
+                    network, epochs=max(2, config["edge_epochs"]),
+                    confidence_threshold=0.4, max_flip_fraction=0.1,
+                    normalizer=normalizer, validate=False,
+                    batchnorm_refresh_passes=1, fused=True,
+                )
+                stats = calibrator.calibrate(edge_q, pool)
+            qat_q = copy.deepcopy(qmodel)
+            calibrate_with_backprop(
+                qat_q, source.features, source.labels,
+                epochs=config["conv_kernel_epochs"], lr=0.01, batch_size=32,
+                rng=np.random.default_rng(0), conv_kernel=backend,
+            )
+            return stats, edge_q.snapshot_codes(), qat_q.snapshot_codes()
+
+        stats_s, edge_s, qat_s = run("strided")
+        stats_n, edge_n, qat_n = run("naive")
+        return {
+            "flip_decisions_identical": bool(
+                stats_s.flips_per_epoch == stats_n.flips_per_epoch
+                and all(np.array_equal(edge_s[name], edge_n[name]) for name in edge_s)
+            ),
+            "qat_codes_identical": bool(
+                all(np.array_equal(qat_s[name], qat_n[name]) for name in qat_s)
+            ),
+        }
 
 
 def _moment_features(features: np.ndarray) -> np.ndarray:
@@ -319,6 +393,11 @@ def main(argv=None) -> int:
     qat_arena = _measure_qat_fused(config, fused=True)
     print(f"  per-tensor: {qat_serial * 1e3:.2f} ms/epoch   fused arena: {qat_arena * 1e3:.2f} ms/epoch")
 
+    print("measuring conv-kernel backends (conv-backbone QAT, naive vs strided, float32)...")
+    conv_naive = _measure_conv_kernel(config, "naive")
+    conv_strided = _measure_conv_kernel(config, "strided")
+    print(f"  naive: {conv_naive * 1e3:.2f} ms/epoch   strided: {conv_strided * 1e3:.2f} ms/epoch")
+
     print("verifying fused + incremental path is exact at float64...")
     equivalence = _check_equivalence(config)
     print(f"  {equivalence}")
@@ -326,6 +405,10 @@ def main(argv=None) -> int:
     print("verifying fused QAT engine is exact at float64...")
     qat_equivalence = _check_qat_fused_equivalence(config)
     print(f"  {qat_equivalence}")
+
+    print("verifying strided conv kernels are exact at float64 (flips + QAT codes)...")
+    conv_equivalence = _check_conv_kernel_equivalence(config)
+    print(f"  {conv_equivalence}")
 
     report = {}
     if args.out.exists():
@@ -360,11 +443,26 @@ def main(argv=None) -> int:
             "target_speedup": 1.5,
             "equivalence": qat_equivalence,
         },
+        "conv_kernels": {
+            "workload": (
+                "conv-backbone (InceptionTime) QAT epochs at float32 — "
+                "strided conv kernels (as_strided im2col + fused blocked "
+                "tap-loop col2im) vs the naive gather/bincount baseline"
+            ),
+            "epochs": config["conv_kernel_epochs"],
+            "batch_size": 32,
+            "naive_epoch_seconds": round(conv_naive, 5),
+            "strided_epoch_seconds": round(conv_strided, 5),
+            "speedup": round(conv_naive / conv_strided, 3),
+            "target_speedup": 1.5,
+            "equivalence": conv_equivalence,
+        },
     })
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nedge speedup: {report['edge_calibration']['speedup']}x, "
           f"qat dtype speedup: {report['qat']['speedup']}x, "
-          f"qat fused-engine speedup: {report['qat_fused']['speedup']}x")
+          f"qat fused-engine speedup: {report['qat_fused']['speedup']}x, "
+          f"conv-kernel speedup: {report['conv_kernels']['speedup']}x")
     print(f"[saved to {args.out}]")
 
     if not equivalence["flip_decisions_identical"]:
@@ -376,10 +474,22 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if not all(conv_equivalence.values()):
+        print(
+            "ERROR: strided conv kernels diverged from the naive backend at float64",
+            file=sys.stderr,
+        )
+        return 1
     if not args.smoke and report["qat_fused"]["speedup"] < 1.5:
         print(
             f"WARNING: fused QAT speedup {report['qat_fused']['speedup']}x below the "
             "1.5x target on this host (bit-identity still holds)",
+            file=sys.stderr,
+        )
+    if not args.smoke and report["conv_kernels"]["speedup"] < 1.5:
+        print(
+            f"WARNING: conv-kernel speedup {report['conv_kernels']['speedup']}x below "
+            "the 1.5x target on this host (bit-identity still holds)",
             file=sys.stderr,
         )
     return 0

@@ -18,6 +18,9 @@ Public entry points
     Losses used for classifier training and bit-flip network regression.
 ``SGD``, ``Adam``
     Optimisers used for full-precision training and QAT calibration.
+``kernels``
+    Pluggable conv-kernel backends (strided fast path, naive baseline)
+    behind every ``Conv1d`` / ``Conv2d`` forward and backward pass.
 """
 
 from repro.nn.parameter import Parameter
@@ -43,6 +46,7 @@ from repro.nn.losses import CrossEntropyLoss, MSELoss, Loss
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn import functional
 from repro.nn import initializers
+from repro.nn import kernels
 
 __all__ = [
     "Parameter",
@@ -73,4 +77,5 @@ __all__ = [
     "Optimizer",
     "functional",
     "initializers",
+    "kernels",
 ]

@@ -1,23 +1,29 @@
 """Stateless numerical helpers shared across layers, losses and algorithms.
 
 The im2col/col2im family is the hot path of every convolutional forward and
-backward pass.  Two optimisations keep it fast:
-
-* the gather/scatter index arrays depend only on the convolution geometry
-  ``(output size, kernel, stride)``, so they are computed once per geometry
-  and memoised (:func:`_patch_indices_1d` and friends);
-* the scatter-add of ``col2im`` uses :func:`numpy.bincount` over flattened
-  positions instead of ``np.add.at`` — the buffered fancy-indexing path of
-  ``add.at`` is an order of magnitude slower than bincount's tight C loop.
+backward pass.  Since PR 5 the implementations live in the pluggable
+:mod:`repro.nn.kernels` backend layer (``strided`` by default, ``naive`` as
+the bit-identical float64 baseline); the functions here are thin dispatchers
+to the active backend, kept for every caller that predates the backend layer
+and for code that does not care which backend is selected.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 import numpy as np
 
 from repro import runtime
+from repro.nn import kernels
+
+# Backwards-compatible aliases: the naive backend's memoised index helpers
+# used to be defined in this module and are pinned by the test suite.
+from repro.nn.kernels.naive import (  # noqa: F401
+    _patch_indices_1d,
+    _patch_indices_2d,
+    _scatter_add_rows,
+    _scatter_positions_1d,
+    _scatter_positions_2d,
+)
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -66,73 +72,10 @@ def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
 
 
 # --------------------------------------------------------------------------
-# Cached convolution geometry.  The index arrays are tiny compared to the
-# activations but rebuilding them on every forward/backward call shows up in
-# edge-calibration profiles; lru_cache keyed on the geometry removes that.
-# Cached arrays are marked read-only so a caller cannot corrupt the cache.
+# Convolution primitives: dispatch to the active conv-kernel backend.
+# Geometry validation (positive kernel/stride, non-negative padding, output
+# size that fits) happens inside the backend layer's shared base class.
 # --------------------------------------------------------------------------
-
-
-@lru_cache(maxsize=512)
-def _patch_indices_1d(out_len: int, kernel_size: int, stride: int) -> np.ndarray:
-    """Window-gather indices of shape ``(L_out, K)`` into the padded length axis."""
-    starts = np.arange(out_len) * stride
-    idx = starts[:, None] + np.arange(kernel_size)[None, :]
-    idx.setflags(write=False)
-    return idx
-
-
-@lru_cache(maxsize=512)
-def _patch_indices_2d(out_h: int, out_w: int, kernel_size: int, stride: int):
-    """Row/column gather indices ``(H_out, K)`` and ``(W_out, K)`` for 2-D windows."""
-    row_idx = np.arange(out_h)[:, None] * stride + np.arange(kernel_size)[None, :]
-    col_idx = np.arange(out_w)[:, None] * stride + np.arange(kernel_size)[None, :]
-    row_idx.setflags(write=False)
-    col_idx.setflags(write=False)
-    return row_idx, col_idx
-
-
-@lru_cache(maxsize=512)
-def _scatter_positions_1d(out_len: int, kernel_size: int, stride: int) -> np.ndarray:
-    """Flat scatter targets (length ``L_out * K``) within one padded row."""
-    positions = np.ascontiguousarray(
-        _patch_indices_1d(out_len, kernel_size, stride)
-    ).reshape(-1)
-    positions.setflags(write=False)
-    return positions
-
-
-@lru_cache(maxsize=512)
-def _scatter_positions_2d(
-    out_h: int, out_w: int, kernel_size: int, stride: int, padded_w: int
-) -> np.ndarray:
-    """Flat scatter targets within one padded ``(H, W)`` plane.
-
-    Position order matches ``cols`` laid out as ``(H_out, K, W_out, K)``.
-    """
-    row_idx, col_idx = _patch_indices_2d(out_h, out_w, kernel_size, stride)
-    positions = row_idx[:, :, None, None] * padded_w + col_idx[None, None, :, :]
-    positions = np.ascontiguousarray(positions).reshape(-1)
-    positions.setflags(write=False)
-    return positions
-
-
-def _scatter_add_rows(
-    values: np.ndarray, positions: np.ndarray, row_length: int
-) -> np.ndarray:
-    """Scatter-add ``values`` of shape ``(rows, len(positions))`` into ``(rows, row_length)``.
-
-    Every row uses the same ``positions``; overlaps sum.  Implemented with one
-    :func:`numpy.bincount` over row-offset flattened positions, which is far
-    faster than ``np.add.at`` for the overlapping windows of a convolution.
-    """
-    rows = values.shape[0]
-    offsets = np.arange(rows, dtype=np.intp)[:, None] * row_length
-    flat_positions = (offsets + positions[None, :]).reshape(-1)
-    accumulated = np.bincount(
-        flat_positions, weights=values.reshape(-1), minlength=rows * row_length
-    )
-    return accumulated.reshape(rows, row_length).astype(runtime.get_dtype(), copy=False)
 
 
 def im2col_1d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
@@ -143,27 +86,17 @@ def im2col_1d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.
     x:
         Input of shape ``(N, C, L)``.
     kernel_size, stride, padding:
-        Convolution geometry.
+        Convolution geometry; validated by the backend layer
+        (``ValueError`` on ``kernel_size <= 0``, ``stride <= 0`` or
+        ``padding < 0``).
 
     Returns
     -------
     numpy.ndarray
-        Patches of shape ``(N, L_out, C * kernel_size)``.
+        Patches of shape ``(N, L_out, C * kernel_size)``, computed by the
+        active :mod:`repro.nn.kernels` backend.
     """
-    n, c, length = x.shape
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding)))
-    padded_len = length + 2 * padding
-    out_len = (padded_len - kernel_size) // stride + 1
-    if out_len <= 0:
-        raise ValueError(
-            f"convolution output length is non-positive: input length {length}, "
-            f"kernel {kernel_size}, stride {stride}, padding {padding}"
-        )
-    idx = _patch_indices_1d(out_len, kernel_size, stride)
-    patches = x[:, :, idx]                       # (N, C, L_out, K)
-    patches = patches.transpose(0, 2, 1, 3)      # (N, L_out, C, K)
-    return patches.reshape(n, out_len, c * kernel_size)
+    return kernels.get_backend().im2col_1d(x, kernel_size, stride, padding)
 
 
 def col2im_1d(
@@ -176,19 +109,12 @@ def col2im_1d(
     """Scatter patch gradients back to the 1-D input layout.
 
     Inverse of :func:`im2col_1d` in the sense of gradient accumulation:
-    overlapping windows sum their contributions.
+    overlapping windows sum their contributions.  Dispatches to the active
+    :mod:`repro.nn.kernels` backend.
     """
-    n, c, length = input_shape
-    padded_len = length + 2 * padding
-    out_len = (padded_len - kernel_size) // stride + 1
-    cols = cols.reshape(n, out_len, c, kernel_size).transpose(0, 2, 1, 3)  # (N, C, L_out, K)
-    positions = _scatter_positions_1d(out_len, kernel_size, stride)
-    grad_padded = _scatter_add_rows(
-        cols.reshape(n * c, out_len * kernel_size), positions, padded_len
-    ).reshape(n, c, padded_len)
-    if padding > 0:
-        return grad_padded[:, :, padding:-padding]
-    return grad_padded
+    return kernels.get_backend().col2im_1d(
+        cols, input_shape, kernel_size, stride, padding
+    )
 
 
 def im2col_2d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.ndarray:
@@ -202,24 +128,10 @@ def im2col_2d(x: np.ndarray, kernel_size: int, stride: int, padding: int) -> np.
     Returns
     -------
     numpy.ndarray
-        Patches of shape ``(N, H_out * W_out, C * kernel_size * kernel_size)``.
+        Patches of shape ``(N, H_out * W_out, C * kernel_size * kernel_size)``,
+        computed by the active :mod:`repro.nn.kernels` backend.
     """
-    n, c, h, w = x.shape
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    ph, pw = h + 2 * padding, w + 2 * padding
-    out_h = (ph - kernel_size) // stride + 1
-    out_w = (pw - kernel_size) // stride + 1
-    if out_h <= 0 or out_w <= 0:
-        raise ValueError(
-            f"convolution output is non-positive: input {h}x{w}, kernel "
-            f"{kernel_size}, stride {stride}, padding {padding}"
-        )
-    row_idx, col_idx = _patch_indices_2d(out_h, out_w, kernel_size, stride)
-    # (N, C, H_out, K, W_out, K)
-    patches = x[:, :, row_idx[:, :, None, None], col_idx[None, None, :, :]]
-    patches = patches.transpose(0, 2, 4, 1, 3, 5)  # (N, H_out, W_out, C, K, K)
-    return patches.reshape(n, out_h * out_w, c * kernel_size * kernel_size)
+    return kernels.get_backend().im2col_2d(x, kernel_size, stride, padding)
 
 
 def col2im_2d(
@@ -229,20 +141,13 @@ def col2im_2d(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Scatter patch gradients back to the 2-D input layout (sums overlaps)."""
-    n, c, h, w = input_shape
-    ph, pw = h + 2 * padding, w + 2 * padding
-    out_h = (ph - kernel_size) // stride + 1
-    out_w = (pw - kernel_size) // stride + 1
-    cols = cols.reshape(n, out_h, out_w, c, kernel_size, kernel_size)
-    cols = cols.transpose(0, 3, 1, 4, 2, 5)  # (N, C, H_out, K, W_out, K)
-    positions = _scatter_positions_2d(out_h, out_w, kernel_size, stride, pw)
-    grad_padded = _scatter_add_rows(
-        cols.reshape(n * c, -1), positions, ph * pw
-    ).reshape(n, c, ph, pw)
-    if padding > 0:
-        return grad_padded[:, :, padding:-padding, padding:-padding]
-    return grad_padded
+    """Scatter patch gradients back to the 2-D input layout (sums overlaps).
+
+    Dispatches to the active :mod:`repro.nn.kernels` backend.
+    """
+    return kernels.get_backend().col2im_2d(
+        cols, input_shape, kernel_size, stride, padding
+    )
 
 
 def clip_gradients(gradients: list, max_norm: float) -> float:

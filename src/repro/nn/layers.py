@@ -14,8 +14,8 @@ from typing import Optional
 import numpy as np
 
 from repro import runtime
-from repro.nn import functional as F
 from repro.nn import initializers
+from repro.nn import kernels
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
 
@@ -104,7 +104,10 @@ class Conv1d(Module):
     """1-D convolution over inputs of shape ``(N, C, L)``.
 
     Implemented through ``im2col`` so that the convolution reduces to a matrix
-    product, which keeps both forward and backward passes vectorised.
+    product, which keeps both forward and backward passes vectorised.  The
+    im2col/col2im primitives come from the active :mod:`repro.nn.kernels`
+    backend; the backend observed at forward time is reused by the matching
+    backward pass so a mid-step backend switch cannot mix implementations.
     """
 
     def __init__(
@@ -120,13 +123,12 @@ class Conv1d(Module):
     ):
         super().__init__()
         rng = _default_rng(rng)
-        if kernel_size <= 0 or stride <= 0:
-            raise ValueError("kernel_size and stride must be positive")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding if padding is not None else kernel_size // 2
+        kernels.validate_conv_geometry(kernel_size, stride, self.padding)
         fan_in = in_channels * kernel_size
         self.weight = self.register_parameter(
             Parameter(
@@ -143,6 +145,7 @@ class Conv1d(Module):
         self.last_output: Optional[np.ndarray] = None
         self._cols: Optional[np.ndarray] = None
         self._input_shape: Optional[tuple] = None
+        self._kernel: Optional[kernels.ConvKernel] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = runtime.asarray(x)
@@ -152,9 +155,16 @@ class Conv1d(Module):
             )
         self.last_input = x
         self._input_shape = x.shape
-        cols = F.im2col_1d(x, self.kernel_size, self.stride, self.padding)  # (N, L_out, fan_in)
+        kernel = kernels.get_backend()
+        self._kernel = kernel
+        cols = kernel.im2col_1d(x, self.kernel_size, self.stride, self.padding)  # (N, L_out, fan_in)
         self._cols = cols
-        out = cols @ self.weight.data                                       # (N, L_out, C_out)
+        n, out_len, fan_in = cols.shape
+        # One flat GEMM over all windows beats N batched GEMMs (bit-identical:
+        # each output element is the same fan_in-length dot product).
+        out = (cols.reshape(-1, fan_in) @ self.weight.data).reshape(
+            n, out_len, self.out_channels
+        )
         if self.bias is not None:
             out = out + self.bias.data
         out = out.transpose(0, 2, 1)                                        # (N, C_out, L_out)
@@ -162,23 +172,29 @@ class Conv1d(Module):
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cols is None or self._input_shape is None:
+        if self._cols is None or self._input_shape is None or self._kernel is None:
             raise RuntimeError("backward called before forward on Conv1d")
         grad_output = runtime.asarray(grad_output).transpose(0, 2, 1)  # (N, L_out, C_out)
-        n = grad_output.shape[0]
+        n, out_len, _ = grad_output.shape
         cols_flat = self._cols.reshape(-1, self._cols.shape[-1])
         grad_flat = grad_output.reshape(-1, self.out_channels)
         self.weight.accumulate_grad(cols_flat.T @ grad_flat)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_flat.sum(axis=0))
-        grad_cols = grad_output @ self.weight.data.T                        # (N, L_out, fan_in)
-        return F.col2im_1d(
+        # Reuse the contiguous grad_flat for one flat GEMM (the batched form
+        # would re-buffer the transposed view once per batch row).
+        grad_cols = (grad_flat @ self.weight.data.T).reshape(n, out_len, -1)
+        return self._kernel.col2im_1d(
             grad_cols, self._input_shape, self.kernel_size, self.stride, self.padding
         )
 
 
 class Conv2d(Module):
-    """2-D convolution over inputs of shape ``(N, C, H, W)`` (square kernels)."""
+    """2-D convolution over inputs of shape ``(N, C, H, W)`` (square kernels).
+
+    Like :class:`Conv1d`, built on the active :mod:`repro.nn.kernels`
+    backend; forward and backward always use the same backend instance.
+    """
 
     def __init__(
         self,
@@ -193,13 +209,12 @@ class Conv2d(Module):
     ):
         super().__init__()
         rng = _default_rng(rng)
-        if kernel_size <= 0 or stride <= 0:
-            raise ValueError("kernel_size and stride must be positive")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding if padding is not None else kernel_size // 2
+        kernels.validate_conv_geometry(kernel_size, stride, self.padding)
         fan_in = in_channels * kernel_size * kernel_size
         self.weight = self.register_parameter(
             Parameter(
@@ -217,6 +232,7 @@ class Conv2d(Module):
         self._cols: Optional[np.ndarray] = None
         self._input_shape: Optional[tuple] = None
         self._out_hw: Optional[tuple] = None
+        self._kernel: Optional[kernels.ConvKernel] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = runtime.asarray(x)
@@ -230,9 +246,15 @@ class Conv2d(Module):
         out_h = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
         out_w = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
         self._out_hw = (out_h, out_w)
-        cols = F.im2col_2d(x, self.kernel_size, self.stride, self.padding)
+        kernel = kernels.get_backend()
+        self._kernel = kernel
+        cols = kernel.im2col_2d(x, self.kernel_size, self.stride, self.padding)
         self._cols = cols
-        out = cols @ self.weight.data                    # (N, H_out*W_out, C_out)
+        fan_in = cols.shape[-1]
+        # One flat GEMM over all windows (see Conv1d.forward).
+        out = (cols.reshape(-1, fan_in) @ self.weight.data).reshape(
+            n, out_h * out_w, self.out_channels
+        )
         if self.bias is not None:
             out = out + self.bias.data
         out = out.transpose(0, 2, 1).reshape(n, self.out_channels, out_h, out_w)
@@ -240,7 +262,7 @@ class Conv2d(Module):
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cols is None or self._input_shape is None or self._out_hw is None:
+        if self._cols is None or self._input_shape is None or self._out_hw is None or self._kernel is None:
             raise RuntimeError("backward called before forward on Conv2d")
         n = grad_output.shape[0]
         out_h, out_w = self._out_hw
@@ -251,8 +273,8 @@ class Conv2d(Module):
         self.weight.accumulate_grad(cols_flat.T @ grad_flat)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_flat.sum(axis=0))
-        grad_cols = grad_mat @ self.weight.data.T
-        return F.col2im_2d(
+        grad_cols = (grad_flat @ self.weight.data.T).reshape(n, out_h * out_w, -1)
+        return self._kernel.col2im_2d(
             grad_cols, self._input_shape, self.kernel_size, self.stride, self.padding
         )
 
@@ -337,7 +359,18 @@ class BatchNorm(Module):
 
 
 class ReLU(Module):
-    """Rectified linear unit."""
+    """Rectified linear unit.
+
+    ``np.maximum`` / mask-multiply instead of ``np.where`` — a fraction of
+    the cost on large conv activations, and bit-identical for all finite
+    values (the backward differs from the ``where`` form only in the sign
+    of masked-out zeros, which no downstream comparison or update can
+    observe).  Non-finite values now follow standard ReLU semantics: a NaN
+    input propagates through the forward (``maximum``, as in PyTorch)
+    instead of being silently zeroed, and a masked non-finite gradient
+    yields NaN rather than 0 — failures upstream surface instead of being
+    laundered to zero here.
+    """
 
     def __init__(self):
         super().__init__()
@@ -345,12 +378,12 @@ class ReLU(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        return np.maximum(x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward on ReLU")
-        return np.where(self._mask, grad_output, 0.0)
+        return grad_output * self._mask
 
 
 class LeakyReLU(Module):
@@ -518,10 +551,7 @@ class MaxPool1d(Module):
         input_shape, out_len, argmax = self._cache
         n, c, _ = input_shape
         windows = np.zeros((n, c, out_len, self.pool_size), dtype=grad_output.dtype)
-        n_idx, c_idx, l_idx = np.meshgrid(
-            np.arange(n), np.arange(c), np.arange(out_len), indexing="ij"
-        )
-        windows[n_idx, c_idx, l_idx, argmax] = grad_output
+        np.put_along_axis(windows, argmax[..., None], grad_output[..., None], axis=3)
         grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
         grad_input[:, :, : out_len * self.pool_size] = windows.reshape(n, c, -1)
         return grad_input
@@ -559,10 +589,7 @@ class MaxPool2d(Module):
         n, c, h, w = input_shape
         p = self.pool_size
         flat = np.zeros((n, c, out_h, out_w, p * p), dtype=grad_output.dtype)
-        n_idx, c_idx, h_idx, w_idx = np.meshgrid(
-            np.arange(n), np.arange(c), np.arange(out_h), np.arange(out_w), indexing="ij"
-        )
-        flat[n_idx, c_idx, h_idx, w_idx, argmax] = grad_output
+        np.put_along_axis(flat, argmax[..., None], grad_output[..., None], axis=4)
         windows = flat.reshape(n, c, out_h, out_w, p, p).transpose(0, 1, 2, 4, 3, 5)
         grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
         grad_input[:, :, : out_h * p, : out_w * p] = windows.reshape(n, c, out_h * p, out_w * p)

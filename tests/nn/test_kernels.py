@@ -1,0 +1,407 @@
+"""Tests for the pluggable conv-kernel backend layer (``repro.nn.kernels``).
+
+Covers backend selection (env var, runtime knob, context managers), the
+geometry-validation regression (stride <= 0 / padding < 0 used to produce
+garbage shapes silently), edge-case geometries through both backends, the
+strided path on non-contiguous inputs, and the float64 bit-identity property
+between the strided backend and the naive reference across random shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn, runtime
+from repro.nn import functional as F
+from repro.nn import kernels
+from repro.nn.kernels import (
+    ConvKernel,
+    KernelConfig,
+    NaiveKernel,
+    StridedKernel,
+)
+
+NAIVE = NaiveKernel()
+STRIDED = StridedKernel()
+
+
+def _random_cols_1d(rng, shape, kernel, stride, padding):
+    n, c, length = shape
+    out_len = (length + 2 * padding - kernel) // stride + 1
+    return rng.normal(size=(n, out_len, c * kernel))
+
+
+def _random_cols_2d(rng, shape, kernel, stride, padding):
+    n, c, h, w = shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    return rng.normal(size=(n, out_h * out_w, c * kernel * kernel))
+
+
+class TestBackendSelection:
+    def test_default_backend_is_strided(self):
+        assert kernels.DEFAULT_BACKEND == "strided"
+        assert isinstance(KernelConfig().resolve(), StridedKernel)
+
+    def test_available_backends(self):
+        names = kernels.available_backends()
+        assert "naive" in names and "strided" in names
+
+    def test_set_backend_returns_previous(self):
+        previous = kernels.set_backend("naive")
+        try:
+            assert kernels.get_backend_name() == "naive"
+            assert isinstance(kernels.get_backend(), NaiveKernel)
+        finally:
+            kernels.set_backend(previous)
+
+    def test_use_backend_restores_on_exit(self):
+        before = kernels.get_backend_name()
+        with kernels.use_backend("naive") as backend:
+            assert backend.name == "naive"
+            assert kernels.get_backend_name() == "naive"
+        assert kernels.get_backend_name() == before
+
+    def test_use_backend_restores_on_error(self):
+        before = kernels.get_backend_name()
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("naive"):
+                raise RuntimeError("boom")
+        assert kernels.get_backend_name() == before
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown conv-kernel backend"):
+            kernels.set_backend("does-not-exist")
+        with pytest.raises(ValueError, match="available backends"):
+            KernelConfig(backend="nope").resolve()
+
+    def test_runtime_knob_switches_dispatch(self):
+        before = runtime.get_conv_kernel()
+        assert before == kernels.get_backend_name()
+        with runtime.use_conv_kernel("naive") as name:
+            assert name == "naive"
+            assert runtime.get_conv_kernel() == "naive"
+            assert isinstance(kernels.get_backend(), NaiveKernel)
+        assert runtime.get_conv_kernel() == before
+
+    def test_kernel_config_from_environment(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "naive")
+        assert KernelConfig.from_environment().backend == "naive"
+        monkeypatch.setenv(kernels.ENV_VAR, "")
+        assert KernelConfig.from_environment().backend == kernels.DEFAULT_BACKEND
+        monkeypatch.delenv(kernels.ENV_VAR)
+        assert KernelConfig.from_environment().backend == kernels.DEFAULT_BACKEND
+
+    def test_register_backend_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            kernels.register_backend("strided", StridedKernel)
+
+    def test_register_custom_backend(self):
+        class EchoKernel(NaiveKernel):
+            name = "echo-test"
+
+        kernels.register_backend("echo-test", EchoKernel, overwrite=True)
+        try:
+            with kernels.use_backend("echo-test") as backend:
+                assert isinstance(backend, EchoKernel)
+        finally:
+            # drop the test-only backend from the registry
+            kernels.config._FACTORIES.pop("echo-test", None)
+            kernels.config._INSTANCES.pop("echo-test", None)
+
+
+class TestGeometryValidation:
+    """Regression: im2col_1d/2d used to silently accept stride <= 0 and
+    padding < 0 and produce garbage shapes."""
+
+    @pytest.mark.parametrize("bad_stride", [0, -1, -3])
+    def test_im2col_1d_rejects_nonpositive_stride(self, rng, bad_stride):
+        x = rng.normal(size=(1, 2, 8))
+        with pytest.raises(ValueError, match=f"stride must be positive, got {bad_stride}"):
+            F.im2col_1d(x, 3, bad_stride, 1)
+
+    @pytest.mark.parametrize("bad_padding", [-1, -2])
+    def test_im2col_1d_rejects_negative_padding(self, rng, bad_padding):
+        x = rng.normal(size=(1, 2, 8))
+        with pytest.raises(ValueError, match=f"padding must be non-negative, got {bad_padding}"):
+            F.im2col_1d(x, 3, 1, bad_padding)
+
+    @pytest.mark.parametrize("bad_stride", [0, -2])
+    def test_im2col_2d_rejects_nonpositive_stride(self, rng, bad_stride):
+        x = rng.normal(size=(1, 2, 6, 6))
+        with pytest.raises(ValueError, match="stride must be positive"):
+            F.im2col_2d(x, 3, bad_stride, 1)
+
+    def test_im2col_2d_rejects_negative_padding(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        with pytest.raises(ValueError, match="padding must be non-negative, got -1"):
+            F.im2col_2d(x, 3, 1, -1)
+
+    def test_im2col_rejects_nonpositive_kernel(self, rng):
+        with pytest.raises(ValueError, match="kernel_size must be positive"):
+            F.im2col_1d(rng.normal(size=(1, 2, 8)), 0, 1, 0)
+
+    @pytest.mark.parametrize("backend", [NAIVE, STRIDED])
+    def test_col2im_validates_too(self, rng, backend):
+        cols = rng.normal(size=(1, 6, 6))
+        with pytest.raises(ValueError, match="stride must be positive"):
+            backend.col2im_1d(cols, (1, 2, 8), 3, 0, 1)
+        with pytest.raises(ValueError, match="padding must be non-negative"):
+            backend.col2im_2d(cols, (1, 2, 6, 6), 3, 1, -1)
+
+    @pytest.mark.parametrize("backend", [NAIVE, STRIDED])
+    def test_kernel_larger_than_padded_input_raises(self, rng, backend):
+        x = rng.normal(size=(1, 2, 4))
+        with pytest.raises(ValueError, match="output is non-positive"):
+            backend.im2col_1d(x, 7, 1, 1)
+
+    def test_conv_layers_reject_negative_padding(self):
+        with pytest.raises(ValueError, match="padding must be non-negative"):
+            nn.Conv1d(2, 3, kernel_size=3, padding=-1)
+        with pytest.raises(ValueError, match="padding must be non-negative"):
+            nn.Conv2d(2, 3, kernel_size=3, padding=-2)
+
+
+class TestEdgeCaseGeometries:
+    """Edge geometries through both backends, checked against each other and
+    for the analytically known shapes."""
+
+    @pytest.mark.parametrize("backend", [NAIVE, STRIDED])
+    def test_kernel_equals_input_size_1d(self, rng, backend):
+        x = rng.normal(size=(2, 3, 5))
+        cols = backend.im2col_1d(x, kernel_size=5, stride=1, padding=0)
+        assert cols.shape == (2, 1, 15)  # single window covering everything
+        np.testing.assert_array_equal(
+            cols.reshape(2, 3, 5), x
+        )
+
+    @pytest.mark.parametrize("backend", [NAIVE, STRIDED])
+    def test_kernel_equals_input_size_2d(self, rng, backend):
+        x = rng.normal(size=(2, 2, 4, 4))
+        cols = backend.im2col_2d(x, kernel_size=4, stride=1, padding=0)
+        assert cols.shape == (2, 1, 32)
+        np.testing.assert_array_equal(cols.reshape(2, 2, 4, 4), x)
+
+    @pytest.mark.parametrize("backend", [NAIVE, STRIDED])
+    def test_stride_larger_than_kernel_skips_positions(self, rng, backend):
+        # stride 3 > kernel 2: windows at offsets 0, 3, 6 — gaps are never read
+        x = rng.normal(size=(1, 1, 8))
+        cols = backend.im2col_1d(x, kernel_size=2, stride=3, padding=0)
+        assert cols.shape == (1, 3, 2)
+        np.testing.assert_array_equal(cols[0, :, 0], x[0, 0, [0, 3, 6]])
+        # ...and the adjoint scatters back only to the read positions
+        grad = backend.col2im_1d(np.ones_like(cols), (1, 1, 8), 2, 3, 0)
+        np.testing.assert_array_equal(grad[0, 0], [1, 1, 0, 1, 1, 0, 1, 1])
+
+    @pytest.mark.parametrize("backend", [NAIVE, STRIDED])
+    def test_zero_padding_vs_same_padding(self, rng, backend):
+        x = rng.normal(size=(2, 2, 9))
+        valid = backend.im2col_1d(x, 3, 1, 0)   # "valid": shrinks
+        same = backend.im2col_1d(x, 3, 1, 1)    # "same" for k=3, s=1
+        assert valid.shape == (2, 7, 6)
+        assert same.shape == (2, 9, 6)
+        # interior windows agree; border windows of the padded call see zeros
+        np.testing.assert_array_equal(same[:, 1:-1], valid)
+        assert np.all(same[:, 0, 0::3] == 0.0)  # first tap of first window is pad
+
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [((2, 3, 5), 5, 1, 0), ((1, 2, 8), 2, 3, 0), ((2, 2, 7), 3, 5, 1)],
+    )
+    def test_strided_matches_naive_on_edge_geometries(self, rng, shape, kernel, stride, padding):
+        x = rng.normal(size=shape)
+        np.testing.assert_array_equal(
+            STRIDED.im2col_1d(x, kernel, stride, padding),
+            NAIVE.im2col_1d(x, kernel, stride, padding),
+        )
+        cols = _random_cols_1d(rng, shape, kernel, stride, padding)
+        np.testing.assert_array_equal(
+            STRIDED.col2im_1d(cols, shape, kernel, stride, padding),
+            NAIVE.col2im_1d(cols, shape, kernel, stride, padding),
+        )
+
+
+class TestNonContiguousInputs:
+    """The strided path must read non-contiguous (transposed/sliced) inputs
+    correctly — ``as_strided`` derives the window view from whatever strides
+    the input has, so no copy is needed and no garbage may appear."""
+
+    def test_transposed_input_1d(self, rng):
+        base = rng.normal(size=(3, 9, 2))          # (C, L, N) storage
+        x = base.transpose(2, 0, 1)                # (N, C, L) non-contiguous view
+        assert not x.flags.c_contiguous
+        np.testing.assert_array_equal(
+            STRIDED.im2col_1d(x, 3, 1, 0),
+            NAIVE.im2col_1d(np.ascontiguousarray(x), 3, 1, 0),
+        )
+
+    def test_sliced_input_1d(self, rng):
+        base = rng.normal(size=(4, 3, 20))
+        x = base[::2, :, ::2]                      # strided slice view
+        assert not x.flags.c_contiguous
+        np.testing.assert_array_equal(
+            STRIDED.im2col_1d(x, 3, 2, 1),
+            NAIVE.im2col_1d(np.ascontiguousarray(x), 3, 2, 1),
+        )
+
+    def test_transposed_input_2d(self, rng):
+        base = rng.normal(size=(6, 6, 2, 2))       # (H, W, N, C) storage
+        x = base.transpose(2, 3, 0, 1)             # (N, C, H, W) non-contiguous
+        assert not x.flags.c_contiguous
+        np.testing.assert_array_equal(
+            STRIDED.im2col_2d(x, 3, 1, 1),
+            NAIVE.im2col_2d(np.ascontiguousarray(x), 3, 1, 1),
+        )
+
+    def test_conv1d_layer_on_non_contiguous_input(self, rng):
+        layer = nn.Conv1d(3, 4, kernel_size=3, rng=rng)
+        base = rng.normal(size=(3, 10, 2))
+        x = base.transpose(2, 0, 1)
+        out_view = layer.forward(x)
+        out_contig = layer.forward(np.ascontiguousarray(x))
+        np.testing.assert_array_equal(out_view, out_contig)
+
+
+class TestStridedNaiveBitIdentity:
+    """Property test: at float64 the strided backend is bit-identical to the
+    naive reference — forward windows, backward scatter, 1-D and 2-D —
+    across randomly drawn geometries."""
+
+    def test_random_geometries_1d(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(1, 5))
+            c = int(rng.integers(1, 6))
+            kernel = int(rng.integers(1, 8))
+            stride = int(rng.integers(1, 5))
+            padding = int(rng.integers(0, 4))
+            min_len = max(1, kernel - 2 * padding)
+            length = int(rng.integers(min_len, min_len + 14))
+            shape = (n, c, length)
+            x = rng.normal(size=shape)
+            fwd_naive = NAIVE.im2col_1d(x, kernel, stride, padding)
+            fwd_strided = STRIDED.im2col_1d(x, kernel, stride, padding)
+            np.testing.assert_array_equal(fwd_strided, fwd_naive)
+            cols = _random_cols_1d(rng, shape, kernel, stride, padding)
+            bwd_naive = NAIVE.col2im_1d(cols, shape, kernel, stride, padding)
+            bwd_strided = STRIDED.col2im_1d(cols, shape, kernel, stride, padding)
+            np.testing.assert_array_equal(bwd_strided, bwd_naive)
+
+    def test_random_geometries_2d(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 4))
+            c = int(rng.integers(1, 4))
+            kernel = int(rng.integers(1, 5))
+            stride = int(rng.integers(1, 4))
+            padding = int(rng.integers(0, 3))
+            min_hw = max(1, kernel - 2 * padding)
+            h = int(rng.integers(min_hw, min_hw + 7))
+            w = int(rng.integers(min_hw, min_hw + 7))
+            shape = (n, c, h, w)
+            x = rng.normal(size=shape)
+            np.testing.assert_array_equal(
+                STRIDED.im2col_2d(x, kernel, stride, padding),
+                NAIVE.im2col_2d(x, kernel, stride, padding),
+            )
+            cols = _random_cols_2d(rng, shape, kernel, stride, padding)
+            np.testing.assert_array_equal(
+                STRIDED.col2im_2d(cols, shape, kernel, stride, padding),
+                NAIVE.col2im_2d(cols, shape, kernel, stride, padding),
+            )
+
+    def test_adjoint_identity_strided(self, rng):
+        """<im2col(x), cols> == <x, col2im(cols)> through the strided backend."""
+        x = rng.normal(size=(2, 3, 10))
+        cols = rng.normal(size=(2, 10, 9))  # kernel 3, stride 1, padding 1
+        lhs = float(np.sum(STRIDED.im2col_1d(x, 3, 1, 1) * cols))
+        rhs = float(np.sum(x * STRIDED.col2im_1d(cols, x.shape, 3, 1, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_output_follows_runtime_dtype(self, rng):
+        cols64 = rng.normal(size=(1, 5, 4))  # kernel 2, stride 1 over length 6
+        with runtime.use_dtype(np.float32):
+            out = STRIDED.col2im_1d(cols64.astype(np.float32), (1, 2, 6), 2, 1, 0)
+            assert out.dtype == np.float32
+        out64 = STRIDED.col2im_1d(cols64, (1, 2, 6), 2, 1, 0)
+        assert out64.dtype == np.float64
+
+
+class TestConvLayerIntegration:
+    """Conv1d/Conv2d thread the active backend through forward AND backward."""
+
+    def _run_conv1d(self, rng_seed, backend_name):
+        rng = np.random.default_rng(rng_seed)
+        layer = nn.Conv1d(3, 4, kernel_size=3, stride=2, rng=rng)
+        x = rng.normal(size=(2, 3, 11))
+        with kernels.use_backend(backend_name):
+            out = layer.forward(x)
+            grad_in = layer.backward(np.ones_like(out))
+        return out, grad_in, layer.weight.grad.copy()
+
+    def test_conv1d_identical_across_backends(self):
+        out_s, gin_s, gw_s = self._run_conv1d(7, "strided")
+        out_n, gin_n, gw_n = self._run_conv1d(7, "naive")
+        np.testing.assert_array_equal(out_s, out_n)
+        np.testing.assert_array_equal(gin_s, gin_n)
+        np.testing.assert_array_equal(gw_s, gw_n)
+
+    def test_conv2d_identical_across_backends(self):
+        results = {}
+        for name in ("strided", "naive"):
+            rng = np.random.default_rng(3)
+            layer = nn.Conv2d(2, 3, kernel_size=3, rng=rng)
+            x = rng.normal(size=(2, 2, 7, 7))
+            with kernels.use_backend(name):
+                out = layer.forward(x)
+                grad_in = layer.backward(np.ones_like(out))
+            results[name] = (out, grad_in, layer.weight.grad.copy())
+        for a, b in zip(results["strided"], results["naive"]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_backward_reuses_forward_backend(self, rng):
+        """Switching backends between forward and backward must not mix
+        implementations within one step."""
+        layer = nn.Conv1d(2, 3, kernel_size=3, rng=rng)
+        x = rng.normal(size=(1, 2, 8))
+        with kernels.use_backend("naive"):
+            out = layer.forward(x)
+        assert isinstance(layer._kernel, NaiveKernel)
+        layer.backward(np.ones_like(out))  # outside the context: still naive
+        assert isinstance(layer._kernel, NaiveKernel)
+
+    def test_calibrate_with_backprop_conv_kernel_knob(self, rng):
+        """The QAT path accepts a conv_kernel override and restores the
+        previous backend afterwards."""
+        from repro.quantization import calibrate_with_backprop, quantize_model
+
+        before = kernels.get_backend_name()
+        model = nn.Sequential(
+            nn.Conv1d(2, 3, kernel_size=3, rng=rng, name="c1"),
+            nn.ReLU(),
+            nn.GlobalAvgPool1d(),
+            nn.Dense(3, 2, rng=rng, name="head"),
+        )
+        x = rng.normal(size=(12, 2, 9))
+        y = rng.integers(0, 2, size=12)
+        results = {}
+        for name in ("naive", "strided"):
+            qmodel = quantize_model(__import__("copy").deepcopy(model), bits=4)
+            results[name] = calibrate_with_backprop(
+                qmodel, x, y, epochs=2, lr=0.01, batch_size=4,
+                rng=np.random.default_rng(0), conv_kernel=name,
+            )
+            assert kernels.get_backend_name() == before
+        np.testing.assert_array_equal(results["naive"].losses, results["strided"].losses)
+
+
+class TestKernelContract(object):
+    """The abstract base refuses to compute and reports its hooks clearly."""
+
+    def test_abstract_kernel_raises_not_implemented(self, rng):
+        kernel = ConvKernel()
+        with pytest.raises(NotImplementedError):
+            kernel.im2col_1d(rng.normal(size=(1, 1, 5)), 3, 1, 1)
+
+    def test_repr_names_backend(self):
+        assert "strided" in repr(STRIDED)
+        assert "naive" in repr(NAIVE)

@@ -1,0 +1,125 @@
+"""Documentation gate for CI.
+
+Two checks, both of which fail the build:
+
+1. **Intra-repo links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at a file (or directory) that exists in the
+   repository.  External links (``http(s)://``, ``mailto:``) and pure
+   in-page anchors (``#section``) are skipped; ``path#anchor`` links are
+   checked for the path part.
+
+2. **Kernel-layer docstrings** — every public function, class and public
+   method defined in the :mod:`repro.nn.kernels` package must carry a
+   docstring.  The kernel layer is the repo's pluggable-backend surface;
+   an undocumented public hook there is an API regression.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+# Matches [text](target) while ignoring images' leading "!" (still a link
+# target worth checking) and skipping targets with a URL scheme.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_markdown_files():
+    """README.md plus every markdown file under docs/."""
+    yield REPO_ROOT / "README.md"
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_links() -> list:
+    """Return a list of broken-link error strings across the doc set."""
+    errors = []
+    for md_file in iter_markdown_files():
+        if not md_file.exists():
+            errors.append(f"{md_file.relative_to(REPO_ROOT)}: file missing")
+            continue
+        text = md_file.read_text()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if _SCHEME_RE.match(target) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md_file.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return errors
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def check_kernel_docstrings() -> list:
+    """Return error strings for undocumented public API in repro.nn.kernels."""
+    import repro.nn.kernels as kernels_pkg
+
+    errors = []
+    modules = [kernels_pkg]
+    for info in pkgutil.iter_modules(kernels_pkg.__path__):
+        modules.append(importlib.import_module(f"repro.nn.kernels.{info.name}"))
+
+    seen = set()
+    for module in modules:
+        for name, obj in vars(module).items():
+            if not _is_public(name):
+                continue
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue
+            if getattr(obj, "__module__", "").split(".")[:3] != ["repro", "nn", "kernels"]:
+                continue  # re-exported from elsewhere (e.g. numpy)
+            qualname = f"{obj.__module__}.{obj.__qualname__}"
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            if not inspect.getdoc(obj):
+                errors.append(f"missing docstring: {qualname}")
+            if inspect.isclass(obj):
+                for meth_name, meth in vars(obj).items():
+                    if not _is_public(meth_name):
+                        continue
+                    if not (inspect.isfunction(meth) or isinstance(meth, (classmethod, staticmethod))):
+                        continue
+                    func = meth.__func__ if isinstance(meth, (classmethod, staticmethod)) else meth
+                    if not inspect.getdoc(func):
+                        errors.append(f"missing docstring: {qualname}.{meth_name}")
+    return errors
+
+
+def main() -> int:
+    """Run both checks; print findings and exit non-zero on any failure."""
+    errors = check_links() + check_kernel_docstrings()
+    if errors:
+        print(f"docs check FAILED ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    files = [str(p.relative_to(REPO_ROOT)) for p in iter_markdown_files()]
+    print(f"docs check ok: links valid in {', '.join(files)}; "
+          "repro.nn.kernels public API fully documented")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
