@@ -8,7 +8,9 @@ machinery.
 from __future__ import annotations
 
 import functools
+import json
 import pathlib
+import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -66,6 +68,42 @@ def save_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def load_bench_report(path: pathlib.Path) -> dict:
+    """Load a BENCH report for merging, surviving corruption gracefully.
+
+    Benchmarks *merge* into the shared ``BENCH_perf.json`` rather than
+    overwrite it, which means a corrupted or truncated file (killed bench
+    run, merge-conflict markers, disk hiccup) used to crash every subsequent
+    bench.  Instead: back the bad file up alongside the original (as
+    ``<name>.corrupt``), warn, and start from an empty report — the backup
+    preserves the evidence, the bench run still completes.
+    """
+    if not path.exists():
+        return {}
+    text = path.read_text()
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as error:
+        backup = path.with_suffix(path.suffix + ".corrupt")
+        backup.write_text(text)
+        warnings.warn(
+            f"{path} is not valid JSON ({error}); backed it up to {backup} "
+            "and starting a fresh report",
+            stacklevel=2,
+        )
+        return {}
+    if not isinstance(report, dict):
+        backup = path.with_suffix(path.suffix + ".corrupt")
+        backup.write_text(text)
+        warnings.warn(
+            f"{path} holds a JSON {type(report).__name__}, not an object; "
+            f"backed it up to {backup} and starting a fresh report",
+            stacklevel=2,
+        )
+        return {}
+    return report
 
 
 def train_backbone(

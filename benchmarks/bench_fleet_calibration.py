@@ -193,9 +193,9 @@ def main() -> None:
     entry = run_benchmark(config)
     entry["mode"] = "smoke" if args.smoke else "full"
 
-    report = {}
-    if args.out.exists():
-        report = json.loads(args.out.read_text())
+    from bench_config import load_bench_report
+
+    report = load_bench_report(args.out)
     report["fleet_calibration_smoke" if args.smoke else "fleet_calibration"] = entry
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 

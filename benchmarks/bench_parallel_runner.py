@@ -155,9 +155,9 @@ def main() -> None:
     entry = run_benchmark(config, workers=workers, mp_context=args.mp_context)
     entry["mode"] = "smoke" if args.smoke else "full"
 
-    report = {}
-    if args.out.exists():
-        report = json.loads(args.out.read_text())
+    from bench_config import load_bench_report
+
+    report = load_bench_report(args.out)
     report["parallel_eval_smoke" if args.smoke else "parallel_eval"] = entry
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 

@@ -410,10 +410,11 @@ def main(argv=None) -> int:
     conv_equivalence = _check_conv_kernel_equivalence(config)
     print(f"  {conv_equivalence}")
 
-    report = {}
-    if args.out.exists():
-        # Preserve entries written by the other benchmarks.
-        report = json.loads(args.out.read_text())
+    # Preserve entries written by the other benchmarks; a corrupted file is
+    # backed up and replaced instead of crashing the run.
+    from bench_config import load_bench_report
+
+    report = load_bench_report(args.out)
     report.update({
         "mode": "smoke" if args.smoke else "full",
         "config": config,

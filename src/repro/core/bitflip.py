@@ -493,6 +493,96 @@ def _stack_raw_parts(
     ]
 
 
+@dataclass
+class CalibrationRoundState:
+    """Everything a calibration round's outcome depends on, snapshot-able.
+
+    A device's edge-calibration trajectory is a pure function of (a) its
+    integer codes, (b) its BatchNorm running statistics (refreshed in
+    training mode at round start, so they carry state *across* rounds), and
+    (c) the calibration pool + the read-only BF package.  Capturing (a) and
+    (b) therefore pins the mutable half: restoring a
+    :class:`CalibrationRoundState` and re-running a round reproduces the
+    uninterrupted run bit-for-bit — the contract the durable fleet service
+    (:mod:`repro.fleet.service`) relies on to resume crashed rounds.
+
+    ``batchnorm`` is keyed by the BatchNorm layer's position in the model's
+    module traversal (stable for a fixed architecture), mapping to
+    ``(running_mean, running_var)`` copies.
+    """
+
+    codes: Dict[str, np.ndarray]
+    batchnorm: Dict[int, Tuple[np.ndarray, np.ndarray]]
+
+    def digest(self) -> str:
+        """SHA-256 fingerprint over codes and BatchNorm statistics.
+
+        Two devices with equal digests walk bit-identical calibration
+        trajectories when given equal pools and the same BF package — the
+        dedupe key of the fleet service's device-state store.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in sorted(self.codes):
+            codes = np.ascontiguousarray(self.codes[name])
+            digest.update(name.encode())
+            digest.update(str(codes.shape).encode())
+            digest.update(codes.tobytes())
+        for index in sorted(self.batchnorm):
+            mean, var = self.batchnorm[index]
+            digest.update(str(index).encode())
+            digest.update(np.ascontiguousarray(mean).tobytes())
+            digest.update(np.ascontiguousarray(var).tobytes())
+        return digest.hexdigest()
+
+
+def capture_calibration_state(qmodel: QuantizedModel) -> CalibrationRoundState:
+    """Snapshot the state a calibration round mutates (codes + BN statistics).
+
+    Complements :meth:`~repro.quantization.qmodel.QuantizedModel.snapshot_codes`
+    (which the in-round revert logic uses) with the BatchNorm running
+    statistics that ``batchnorm_refresh_passes`` updates — without them a
+    retried or resumed round would start from drifted normalisation state and
+    silently diverge from the uninterrupted run.
+    """
+    bn_layers = [
+        layer for layer in qmodel.model.modules() if isinstance(layer, nn.BatchNorm)
+    ]
+    batchnorm = {
+        index: (layer.running_mean.copy(), layer.running_var.copy())
+        for index, layer in enumerate(bn_layers)
+    }
+    return CalibrationRoundState(codes=qmodel.snapshot_codes(), batchnorm=batchnorm)
+
+
+def restore_calibration_state(
+    qmodel: QuantizedModel, state: CalibrationRoundState
+) -> None:
+    """Restore a :func:`capture_calibration_state` snapshot onto a model.
+
+    Codes are restored through the incremental re-dequantization path of
+    :meth:`~repro.quantization.qmodel.QuantizedModel.restore_codes`; BatchNorm
+    running statistics are written back by traversal position.  Idempotent,
+    and validated up front: a snapshot from a different architecture is
+    rejected before anything is mutated.
+    """
+    bn_layers = [
+        layer for layer in qmodel.model.modules() if isinstance(layer, nn.BatchNorm)
+    ]
+    unknown = set(state.batchnorm) - set(range(len(bn_layers)))
+    if unknown:
+        raise ValueError(
+            f"snapshot references BatchNorm layers {sorted(unknown)} but the "
+            f"model has only {len(bn_layers)}; it was captured from a "
+            "different architecture"
+        )
+    qmodel.restore_codes(state.codes)
+    for index, (mean, var) in state.batchnorm.items():
+        bn_layers[index].running_mean = mean.copy()
+        bn_layers[index].running_var = var.copy()
+
+
 class BitFlipNetwork(Module):
     """The auxiliary bit-flipping model: one convolution plus one dense layer.
 

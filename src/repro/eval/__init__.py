@@ -18,6 +18,7 @@ from repro.eval.parallel import (
     ParallelEvaluator,
     RunSpec,
     WorkerError,
+    WorkerFailure,
     WorkerPool,
     build_specs,
     derive_seeds,
@@ -37,6 +38,7 @@ __all__ = [
     "ParallelEvaluator",
     "RunSpec",
     "WorkerError",
+    "WorkerFailure",
     "WorkerPool",
     "build_specs",
     "derive_seeds",

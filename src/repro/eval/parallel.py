@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -176,39 +177,75 @@ class WorkerError(RuntimeError):
 
 
 @dataclass
-class _WorkerFailure:
-    """Picklable record of an exception raised inside a worker."""
+class WorkerFailure:
+    """Picklable record of one failed work item.
+
+    ``kind`` distinguishes the failure classes the pool can observe:
+    ``"exception"`` (the work function raised), ``"worker-death"`` (the worker
+    process died — crashed, was killed, or called ``os._exit`` — while
+    executing the item) and ``"timeout"`` (the item exceeded the per-item
+    timeout and its worker was terminated).  Consumers that need per-item
+    outcomes without fail-fast semantics (the fleet service's retry loop) get
+    these records from :meth:`WorkerPool.map_outcomes`; :meth:`WorkerPool.map`
+    converts the first one into a raised :class:`WorkerError`.
+    """
 
     exception: str
     worker_traceback: str
+    kind: str = "exception"
+
+
+# Backwards-compatible alias (pre-durable-service name).
+_WorkerFailure = WorkerFailure
 
 
 def _call_guarded(fn: Callable, payload: Any, item: Any) -> Any:
     try:
         return fn(payload, item)
     except Exception as error:  # noqa: BLE001 — re-raised in the parent
-        return _WorkerFailure(
+        return WorkerFailure(
             exception=f"{type(error).__name__}: {error}",
             worker_traceback=traceback.format_exc(),
         )
 
 
-# Sent once per worker through the pool initializer instead of once per item,
-# so large payloads (dataset + model, or a whole fleet) are pickled
-# ``workers`` times per pool lifetime, not ``len(items)`` times.
-_POOL_STATE: dict = {}
+def _worker_main(
+    worker_id: int, task_queue, result_conn, claim_cell, payload: Any, dtype_name: str
+) -> None:
+    """Worker-process loop: claim a task, run it guarded, report the outcome.
 
+    Two channels, each chosen for what it must survive:
 
-def _pool_init(payload: Any, dtype_name: str) -> None:
+    * The claim is written to ``claim_cell`` — a shared-memory integer —
+      *before* execution starts, so the parent can attribute a worker death
+      or per-item timeout to the exact item being processed.  A direct memory
+      write is visible the instant it happens, whatever kills the process
+      next.
+    * Results go over a dedicated ``Pipe``: ``Connection.send`` writes
+      synchronously into the kernel pipe, so once it returns the result is
+      readable by the parent even if the worker dies immediately after.  A
+      shared ``multiprocessing.Queue`` would NOT give that guarantee — its
+      ``put`` hands off to a feeder thread that a hard death (``os._exit``,
+      segfault, ``kill -9``) silently discards, losing *already completed*
+      results along with the in-flight one.  (``multiprocessing.Pool`` loses
+      in-flight items on worker death for exactly this class of reason — the
+      hang this pool replaces.)
+    """
     # A spawned child starts from the repo-default dtype; inherit the parent's
     # active dtype before any computation touches runtime.asarray.
     runtime.set_dtype(dtype_name)
-    _POOL_STATE["payload"] = payload
-
-
-def _pool_call(packed: Tuple[Callable, Any]) -> Any:
-    fn, item = packed
-    return _call_guarded(fn, _POOL_STATE["payload"], item)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        index, fn, item = task
+        claim_cell.value = index
+        outcome = _call_guarded(fn, payload, item)
+        result_conn.send((index, outcome))
+        # Clear only after the result is in the pipe: dying between the send
+        # and this write can at worst double-report the item (the drained
+        # result wins — see _collect), never lose it.
+        claim_cell.value = -1
 
 
 class WorkerPool:
@@ -228,12 +265,32 @@ class WorkerPool:
     (serial fail-fast).  Map *results* for pure functions are identical either
     way.
 
+    Fault tolerance
+    ---------------
+    Workers are explicit processes driven through a claim/done protocol, so
+    the pool *detects* rather than inherits failure modes that make
+    ``multiprocessing.Pool`` hang or fail opaquely:
+
+    * a worker that **dies while executing an item** (segfault, OOM kill,
+      ``os._exit``) is attributed to that exact item — the item fails with a
+      ``worker-death`` :class:`WorkerFailure` and a replacement worker is
+      spawned so the remaining items still complete;
+    * a worker that **dies between items** is silently respawned;
+    * an item that exceeds the **per-item timeout** (``map_outcomes``'s
+      ``timeout``) has its worker terminated and replaced, and fails with a
+      ``timeout`` record instead of stalling the whole map.
+
     Use as a context manager, or call :meth:`close` explicitly::
 
         with WorkerPool(payload=(data, model), workers=4) as pool:
             first = pool.map(fn, first_queue)
             second = pool.map(fn, second_queue)   # no re-pickling
     """
+
+    #: Seconds between liveness/timeout sweeps while waiting for results.
+    POLL_SECONDS = 0.05
+    #: Seconds a worker gets to exit voluntarily during :meth:`close`.
+    SHUTDOWN_GRACE_SECONDS = 5.0
 
     def __init__(
         self,
@@ -244,16 +301,72 @@ class WorkerPool:
         self.workers = resolve_workers(workers)
         self.mp_context = mp_context
         self._payload = payload
-        self._pool = None
         self._closed = False
+        self._context = None
+        self._task_queue = None
+        self._processes: Dict[int, Any] = {}
+        self._claims: Dict[int, Any] = {}
+        self._conns: Dict[int, Any] = {}
+        self._next_worker_id = 0
+        self._respawns = 0
         if self.workers > 1:
-            context = multiprocessing.get_context(mp_context)
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_pool_init,
-                initargs=(payload, str(runtime.get_dtype())),
-            )
+            self._context = multiprocessing.get_context(mp_context)
+            self._task_queue = self._context.Queue()
+            # The payload is pickled once per worker lifetime (here), not once
+            # per item — the amortisation that makes persistent pools cheap.
+            self._dtype_name = str(runtime.get_dtype())
+            for _ in range(self.workers):
+                self._spawn_worker()
 
+    # ------------------------------------------------------------- lifecycle
+    def _spawn_worker(self) -> int:
+        """Start one worker process; returns its (never reused) worker id."""
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        # The claim cell is the worker's "currently executing item index"
+        # (-1 = idle), written directly to shared memory so it survives any
+        # kind of process death.
+        claim_cell = self._context.Value("q", -1)
+        # A dedicated result pipe per worker: synchronous sends (survive hard
+        # death, unlike a shared Queue's feeder thread), and a worker killed
+        # mid-send can only corrupt its own channel, which dies with it.
+        recv_conn, send_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._task_queue,
+                send_conn,
+                claim_cell,
+                self._payload,
+                self._dtype_name,
+            ),
+            daemon=True,
+            name=f"repro-worker-{worker_id}",
+        )
+        process.start()
+        send_conn.close()
+        self._processes[worker_id] = process
+        self._claims[worker_id] = claim_cell
+        self._conns[worker_id] = recv_conn
+        return worker_id
+
+    @property
+    def respawns(self) -> int:
+        """Number of workers replaced after dying or being timed out."""
+        return self._respawns
+
+    def _replace_worker(self, worker_id: int) -> None:
+        """Reap a dead/terminated worker and start its replacement."""
+        self._processes.pop(worker_id, None)
+        self._claims.pop(worker_id, None)
+        conn = self._conns.pop(worker_id, None)
+        if conn is not None:
+            conn.close()
+        self._respawns += 1
+        self._spawn_worker()
+
+    # ------------------------------------------------------------------ maps
     def map(
         self,
         fn: Callable[[Any, Any], Any],
@@ -263,14 +376,18 @@ class WorkerPool:
         """Apply ``fn(payload, item)`` to every item, preserving item order.
 
         ``fn`` must be a module-level callable (workers unpickle it by
-        reference).  If any item fails, a :class:`WorkerError` is raised
-        naming the item (via ``describe``) and embedding the worker's full
-        traceback; remaining results are discarded.
+        reference).  If any item fails — including by killing its worker — a
+        :class:`WorkerError` is raised naming the item (via ``describe``) and
+        embedding the worker's traceback; remaining results are discarded.
+        Use :meth:`map_outcomes` to collect per-item failures instead.
         """
         if self._closed:
-            raise RuntimeError("WorkerPool is closed")
+            raise RuntimeError(
+                "WorkerPool is closed — its workers have been shut down; "
+                "create a new pool to run more work"
+            )
         items = list(items)
-        if self._pool is None:
+        if self._task_queue is None:
             # In-process execution fails fast: nothing after the first failing
             # item runs (matching the old serial evaluator), which also keeps
             # a shared-by-reference payload from being mutated further by
@@ -281,20 +398,156 @@ class WorkerPool:
                 self._raise_on_failure(item, outcome, describe)
                 outcomes.append(outcome)
             return outcomes
-        else:
-            # chunksize=1: items are coarse-grained (a whole stream or fleet
-            # shard each), so per-task dispatch overhead is negligible and
-            # load balance wins.
-            outcomes = self._pool.map(
-                _pool_call, [(fn, item) for item in items], chunksize=1
-            )
+        outcomes = self.map_outcomes(fn, items)
         for item, outcome in zip(items, outcomes):
             self._raise_on_failure(item, outcome, describe)
         return outcomes
 
+    def map_outcomes(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: Iterable[Any],
+        timeout: Optional[float] = None,
+    ) -> List[Any]:
+        """Like :meth:`map`, but failures are *returned*, not raised.
+
+        Every item produces an entry in the result list: the work function's
+        return value on success, a :class:`WorkerFailure` (kinds
+        ``exception`` / ``worker-death`` / ``timeout``) otherwise.  One item's
+        failure never discards another item's result — the contract retry
+        layers (the fleet service) build on.
+
+        ``timeout`` caps the wall-clock seconds of each item.  In pooled mode
+        enforcement is preemptive: the offending worker is terminated and
+        replaced.  In-process (``workers=1``) there is no one to preempt, so
+        the item runs to completion and is then marked ``timeout``
+        (cooperative enforcement — same outcome, later detection).
+        """
+        if self._closed:
+            raise RuntimeError(
+                "WorkerPool is closed — its workers have been shut down; "
+                "create a new pool to run more work"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        items = list(items)
+        if self._task_queue is None:
+            outcomes = []
+            for item in items:
+                started = time.perf_counter()
+                outcome = _call_guarded(fn, self._payload, item)
+                elapsed = time.perf_counter() - started
+                if (
+                    timeout is not None
+                    and elapsed > timeout
+                    and not isinstance(outcome, WorkerFailure)
+                ):
+                    outcome = WorkerFailure(
+                        exception=(
+                            f"TimeoutError: item took {elapsed:.3f}s, over the "
+                            f"{timeout}s per-item timeout (cooperative, "
+                            "in-process enforcement)"
+                        ),
+                        worker_traceback="",
+                        kind="timeout",
+                    )
+                outcomes.append(outcome)
+            return outcomes
+        for index, item in enumerate(items):
+            self._task_queue.put((index, fn, item))
+        return self._collect(len(items), timeout)
+
+    def _collect(self, count: int, timeout: Optional[float]) -> List[Any]:
+        """Gather ``count`` outcomes, policing worker deaths and timeouts.
+
+        Every result pipe is fully drained *before* a liveness sweep runs, so
+        a completed item can never be misreported as a death or timeout just
+        because its result and its worker's demise raced: synchronous pipe
+        sends guarantee that anything a worker finished is readable here even
+        after it died, and the shared-memory claim cell identifies the one
+        item that was genuinely in flight.
+        """
+        from multiprocessing.connection import wait as connection_wait
+
+        outcomes: List[Any] = [None] * count
+        pending = set(range(count))
+        # worker_id -> (claimed index, wall-clock time the claim was first
+        # *observed*).  Observation time bounds timeout accuracy at one poll
+        # interval, which is far below any meaningful per-item timeout.
+        claim_seen: Dict[int, Tuple[int, float]] = {}
+
+        def fail(index: int, failure: WorkerFailure) -> None:
+            if index in pending:
+                pending.discard(index)
+                outcomes[index] = failure
+
+        while pending:
+            by_conn = {self._conns[worker_id]: worker_id for worker_id in self._processes}
+            received = False
+            for conn in connection_wait(list(by_conn), timeout=self.POLL_SECONDS):
+                worker_id = by_conn[conn]
+                try:
+                    index, outcome = conn.recv()
+                except (EOFError, OSError):
+                    # Dead worker's pipe hit end-of-stream (or was torn
+                    # mid-send); the liveness sweep below attributes it.
+                    continue
+                received = True
+                claim_seen.pop(worker_id, None)
+                if index in pending:
+                    pending.discard(index)
+                    outcomes[index] = outcome
+            if received:
+                continue
+            now = time.perf_counter()
+            for worker_id, process in list(self._processes.items()):
+                claimed = int(self._claims[worker_id].value)
+                if claimed >= 0 and claimed in pending:
+                    seen = claim_seen.get(worker_id)
+                    if seen is None or seen[0] != claimed:
+                        claim_seen[worker_id] = (claimed, now)
+                if not process.is_alive():
+                    exitcode = process.exitcode
+                    claim_seen.pop(worker_id, None)
+                    if claimed >= 0:
+                        fail(
+                            claimed,
+                            WorkerFailure(
+                                exception=(
+                                    f"worker process died (exit code {exitcode}) "
+                                    "while executing the item"
+                                ),
+                                worker_traceback="",
+                                kind="worker-death",
+                            ),
+                        )
+                    # A worker that died *between* items is respawned
+                    # silently; its queued-but-unclaimed work stays in the
+                    # shared task queue for the replacement to pick up.
+                    self._replace_worker(worker_id)
+                elif timeout is not None and worker_id in claim_seen:
+                    index, since = claim_seen[worker_id]
+                    if now - since > timeout:
+                        process.terminate()
+                        process.join(self.SHUTDOWN_GRACE_SECONDS)
+                        claim_seen.pop(worker_id, None)
+                        fail(
+                            index,
+                            WorkerFailure(
+                                exception=(
+                                    f"TimeoutError: item exceeded the {timeout}s "
+                                    "per-item timeout; its worker was terminated"
+                                ),
+                                worker_traceback="",
+                                kind="timeout",
+                            ),
+                        )
+                        self._replace_worker(worker_id)
+        return outcomes
+
     @staticmethod
     def _raise_on_failure(item: Any, outcome: Any, describe: Callable[[Any], str]) -> None:
-        if isinstance(outcome, _WorkerFailure):
+        if isinstance(outcome, WorkerFailure):
             raise WorkerError(
                 f"worker failed on {describe(item)}: {outcome.exception}\n"
                 f"--- worker traceback ---\n{outcome.worker_traceback}",
@@ -303,11 +556,31 @@ class WorkerPool:
             )
 
     def close(self) -> None:
-        """Shut the workers down; the pool cannot be used afterwards."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        """Shut the workers down; idempotent, and the pool is unusable after.
+
+        Live workers receive a stop sentinel and get
+        :attr:`SHUTDOWN_GRACE_SECONDS` to exit on their own; stragglers (and
+        workers wedged in a dead queue) are terminated so ``close`` itself can
+        never hang.
+        """
+        if self._task_queue is not None:
+            for _ in self._processes:
+                try:
+                    self._task_queue.put(None)
+                except (OSError, ValueError):
+                    break
+            for process in self._processes.values():
+                process.join(self.SHUTDOWN_GRACE_SECONDS)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(self.SHUTDOWN_GRACE_SECONDS)
+            self._processes = {}
+            self._claims = {}
+            for conn in self._conns.values():
+                conn.close()
+            self._conns = {}
+            self._task_queue.close()
+            self._task_queue = None
         self._closed = True
 
     @property

@@ -20,6 +20,10 @@ for.  This package exploits it:
 * :func:`run_fleet_stream` — shards a fleet across the persistent
   :class:`~repro.eval.parallel.WorkerPool`, each worker batch-calibrating its
   shard through the whole stream (devices pickled once per pool lifetime).
+* :class:`FleetService` (+ :class:`DeviceStateStore`, :class:`RetryPolicy`,
+  :class:`FaultPlan`) — the durable service tier: crash-safe rounds with
+  per-device resume, retry/backoff/timeout, quarantine, and deterministic
+  fault injection.  See :mod:`repro.fleet.service`.
 """
 
 from repro.fleet.registry import Fleet
@@ -28,12 +32,39 @@ from repro.fleet.calibrator import (
     FleetCalibrationResult,
     FleetCalibrator,
 )
+from repro.fleet.faults import FaultPlan, FaultSpec, InjectedCrash, TransientFault
+from repro.fleet.service import (
+    FleetService,
+    RetryPolicy,
+    RoundOutcome,
+    RoundStatus,
+    dataset_digest,
+)
 from repro.fleet.sharded import run_fleet_stream
+from repro.fleet.store import (
+    DeviceRoundRecord,
+    DeviceStateStore,
+    RoundRecord,
+    StoreError,
+)
 
 __all__ = [
+    "DeviceRoundRecord",
+    "DeviceStateStore",
+    "FaultPlan",
+    "FaultSpec",
     "Fleet",
     "FleetBatchReport",
     "FleetCalibrationResult",
     "FleetCalibrator",
+    "FleetService",
+    "InjectedCrash",
+    "RetryPolicy",
+    "RoundOutcome",
+    "RoundRecord",
+    "RoundStatus",
+    "StoreError",
+    "TransientFault",
+    "dataset_digest",
     "run_fleet_stream",
 ]

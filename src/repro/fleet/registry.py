@@ -79,14 +79,17 @@ class Fleet:
         return list(self._devices)
 
     def get(self, device_id: str) -> EdgeDeployment:
+        """The deployment behind ``device_id``; ``KeyError`` if unknown."""
         if device_id not in self._devices:
             raise KeyError(f"unknown device {device_id!r}")
         return self._devices[device_id]
 
     def items(self) -> Iterator[Tuple[str, EdgeDeployment]]:
+        """``(device_id, deployment)`` pairs in registration order."""
         return iter(self._devices.items())
 
     def devices(self) -> List[EdgeDeployment]:
+        """Deployments in registration order."""
         return list(self._devices.values())
 
     def __len__(self) -> int:
@@ -99,8 +102,26 @@ class Fleet:
         return iter(self._devices)
 
     def subset(self, device_ids: Sequence[str]) -> "Fleet":
-        """A fleet view over a subset of devices (device objects are shared)."""
-        return Fleet({device_id: self.get(device_id) for device_id in device_ids})
+        """A fleet view over a subset of devices (device objects are shared).
+
+        All ids are validated up front: unknown or duplicated ids raise a
+        ``ValueError`` naming every offender, rather than building a partial
+        (or silently deduplicated) fleet.
+        """
+        device_ids = list(device_ids)
+        unknown = [device_id for device_id in device_ids if device_id not in self._devices]
+        if unknown:
+            raise ValueError(
+                f"unknown device ids {unknown!r}; fleet has {sorted(self._devices)!r}"
+            )
+        seen = set()
+        duplicates = sorted(
+            {device_id for device_id in device_ids
+             if device_id in seen or seen.add(device_id)}
+        )
+        if duplicates:
+            raise ValueError(f"duplicate device ids in subset: {duplicates!r}")
+        return Fleet({device_id: self._devices[device_id] for device_id in device_ids})
 
     def shard(self, num_shards: int) -> List["Fleet"]:
         """Split into at most ``num_shards`` contiguous sub-fleets.

@@ -1,0 +1,646 @@
+"""Durable fleet calibration service: submit / poll / drain with crash-safe resume.
+
+The batched :class:`~repro.fleet.calibrator.FleetCalibrator` (PR 3/4) is a
+synchronous in-process loop: one worker crash, one poisoned device, or one
+process restart loses the whole round.  This module wraps it in the service
+tier a production fleet needs:
+
+* **Durability** — every round's per-device state lives in a
+  :class:`~repro.fleet.store.DeviceStateStore` (SQLite WAL).  A round that
+  crashes mid-way resumes from the store and produces flip decisions
+  bit-identical at float64 to an uninterrupted run, because each device's
+  round-start :class:`~repro.core.bitflip.CalibrationRoundState` (codes +
+  BatchNorm running statistics) is persisted before any work happens and a
+  device's calibration trajectory is a pure function of that state, its pool,
+  and the read-only BF package.
+* **Dedupe** — devices are grouped by ``(state digest, pool digest)``; each
+  group runs **one** representative calibration and scatters the resulting
+  state to every member.  N identical replicas cost one BF trajectory + one
+  scatter, exactly the batching economics of the paper's
+  one-calibration-to-millions deployment story.
+* **Retry / timeout / backoff** — a :class:`RetryPolicy` drives bounded
+  retries with exponential backoff and deterministic seeded jitter; a
+  per-attempt timeout turns stragglers into retries instead of stalls
+  (preemptive worker termination in pooled mode, cooperative detection
+  in-process).
+* **Graceful degradation** — a device that fails ``max_attempts`` times is
+  *quarantined* (status + last traceback persisted in the store) and the
+  round completes for the healthy remainder instead of raising.  The hot
+  calibration path keeps serving; failures are handled off to the side.
+* **Fault injection** — a :class:`~repro.fleet.faults.FaultPlan` can be
+  threaded through every execution path (device work, worker processes,
+  store writes), which is how the recovery tests and the CI crash smoke
+  prove each path rather than assuming it.
+
+Device round state machine (persisted per ``(round, device)`` row)::
+
+    pending ──mark_running──▶ running ──success──▶ done
+       ▲                         │
+       └────────mark_failed──────┘ (attempt < max_attempts)
+                                 │
+                                 └──attempts exhausted──▶ quarantined
+
+``running`` rows found at drain time are, by construction, interrupted
+attempts: the service restores their round-start snapshot and retries them —
+that restoration is what makes resume bit-identical.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import time
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitflip import (
+    BitFlipCalibrationStats,
+    capture_calibration_state,
+    restore_calibration_state,
+)
+from repro.data.dataset import Dataset
+from repro.eval.parallel import WorkerFailure, WorkerPool
+from repro.fleet.calibrator import FleetCalibrator
+from repro.fleet.faults import FaultPlan
+from repro.fleet.registry import Fleet
+from repro.fleet.store import DeviceStateStore
+
+__all__ = [
+    "FleetService",
+    "RetryPolicy",
+    "RoundOutcome",
+    "RoundStatus",
+    "dataset_digest",
+]
+
+
+def dataset_digest(dataset: Dataset) -> str:
+    """SHA-256 fingerprint of a calibration pool's exact contents.
+
+    Part of the dedupe key (equal pools + equal device state ⇒ equal
+    trajectory) and the resume guard: a drain is rejected if its pools don't
+    match the digests recorded at submit time, because resuming against
+    different data would silently break bit-identity.
+    """
+    digest = hashlib.sha256()
+    features = np.ascontiguousarray(dataset.features)
+    digest.update(str(features.shape).encode())
+    digest.update(features.tobytes())
+    digest.update(np.ascontiguousarray(dataset.labels).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff, seeded jitter, and a timeout.
+
+    Attributes
+    ----------
+    max_attempts:
+        Attempts per device group before quarantine (must be >= 1).
+    backoff_base:
+        Delay before the second attempt (seconds); attempt ``n`` waits
+        ``backoff_base * backoff_factor**(n - 2)``, capped at ``max_backoff``.
+    jitter:
+        Fractional spread applied to each delay, drawn deterministically from
+        ``(seed, group key, attempt)`` — retries are de-synchronised across
+        groups without sacrificing run-to-run reproducibility.
+    timeout:
+        Per-attempt wall-clock cap (seconds).  ``None`` disables it.  Pooled
+        execution enforces it preemptively (the straggler's worker is
+        terminated and respawned); in-process execution detects it after the
+        fact and still retries.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.25
+    timeout: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.max_backoff < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive when set")
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Delay in seconds before executing ``attempt`` (1-indexed).
+
+        Attempt 1 never waits.  The jitter multiplier is a pure function of
+        ``(seed, key, attempt)``, so the same run always sleeps the same
+        amounts — schedulable, testable backoff.
+        """
+        if attempt <= 1:
+            return 0.0
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 2),
+            self.max_backoff,
+        )
+        if self.jitter:
+            entropy = np.random.SeedSequence(
+                [self.seed, zlib.crc32(key.encode()), attempt]
+            )
+            unit = entropy.generate_state(1, dtype=np.uint32)[0] / 2**32
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return float(delay)
+
+
+@dataclass
+class RoundStatus:
+    """Snapshot of a round's progress (what :meth:`FleetService.poll` returns)."""
+
+    round_id: int
+    status: str
+    counts: Dict[str, int]
+    attempts: Dict[str, int]
+    quarantined: Dict[str, str]
+
+    @property
+    def done(self) -> bool:
+        """True when no device is still pending or running."""
+        return self.counts.get("pending", 0) == 0 and self.counts.get("running", 0) == 0
+
+
+@dataclass
+class RoundOutcome:
+    """Result of draining one round to completion."""
+
+    round_id: int
+    stats: Dict[str, BitFlipCalibrationStats] = field(default_factory=dict)
+    statuses: Dict[str, str] = field(default_factory=dict)
+    quarantined: Dict[str, str] = field(default_factory=dict)
+    num_groups: int = 0
+    retries: int = 0
+    resumed_devices: int = 0
+
+    @property
+    def calibrated_devices(self) -> int:
+        return sum(1 for status in self.statuses.values() if status == "done")
+
+
+@dataclass
+class _Group:
+    """One dedupe group: devices sharing (state digest, pool digest)."""
+
+    key: str
+    rep_id: str
+    member_ids: List[str]
+    snapshot: Any
+    attempts: int = 0
+
+
+def _run_group_in_worker(payload: Any, task: Tuple) -> Tuple[Any, Any]:
+    """Worker-side execution of one dedupe group's representative.
+
+    Module-level so it pickles by reference under ``spawn``.  The deployment
+    arrives pickled at its round-start snapshot state; the returned
+    :class:`CalibrationRoundState` is byte-exact, so scattering it in the
+    parent reproduces what calibrating in the parent would have produced.
+    """
+    site, rep_id, deployment, pool, plan = task
+    if plan is not None:
+        plan.on_device_work(site)
+    calibrator = FleetCalibrator()
+    result = calibrator.calibrate(Fleet({rep_id: deployment}), {rep_id: pool})
+    return capture_calibration_state(deployment.qmodel), result.stats[rep_id]
+
+
+class FleetService:
+    """Crash-safe calibration rounds over a :class:`Fleet`.
+
+    Parameters
+    ----------
+    fleet:
+        The devices this service calibrates.  The service mutates device
+        state in place on success (exactly like the raw calibrator would).
+    store:
+        Durable state store; defaults to an in-memory store (API-complete but
+        not crash-safe — pass a file-backed store for durability).
+    retry_policy:
+        Retry/backoff/timeout knobs; defaults to :class:`RetryPolicy()`.
+    calibrator:
+        The batched calibrator to route rounds through.
+    fault_plan:
+        Optional fault-injection plan (tests / chaos drills).  Wired into
+        device execution sites and the store's write hook.
+    workers:
+        ``1`` (default) calibrates in-process with one *batched* optimistic
+        wave; ``> 1`` fans dedupe groups out over a fault-tolerant
+        :class:`WorkerPool` (per-item timeout, death detection, respawn).
+    mp_context:
+        Start method for pooled mode (``"spawn"`` is the portable default;
+        tests injecting hard crashes use ``"fork"`` for speed).
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        store: Optional[DeviceStateStore] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        calibrator: Optional[FleetCalibrator] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        workers: int = 1,
+        mp_context: str = "spawn",
+    ):
+        self.fleet = fleet
+        self.store = store if store is not None else DeviceStateStore()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.calibrator = calibrator or FleetCalibrator()
+        self.fault_plan = fault_plan
+        self.workers = int(workers)
+        self.mp_context = mp_context
+        self._pool: Optional[WorkerPool] = None
+        if self.fault_plan is not None:
+            self.store.before_write = self.fault_plan.on_store_write
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (if any) and the store; idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self.store.close()
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _worker_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(
+                payload=None, workers=self.workers, mp_context=self.mp_context
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------ rounds
+    def submit(self, pools: Mapping[str, Dataset]) -> int:
+        """Open a calibration round; returns its durable round id.
+
+        Every non-quarantined fleet device with a pool joins the round; its
+        round-start snapshot and dedupe digests are persisted *before* any
+        work happens, which is what later makes retry and resume possible.
+        Already-quarantined devices are skipped (graceful degradation — the
+        round serves the healthy remainder).
+        """
+        quarantined = self.store.quarantined_devices()
+        device_ids = [device_id for device_id in self.fleet.ids if device_id not in quarantined]
+        missing = [device_id for device_id in device_ids if device_id not in pools]
+        if missing:
+            raise KeyError(f"no calibration pool for devices: {missing}")
+        if not device_ids:
+            raise ValueError(
+                "no eligible devices: the whole fleet is quarantined "
+                f"({sorted(quarantined)})"
+            )
+        for device_id in device_ids:
+            self.store.register_device(device_id)
+        round_id = self.store.create_round(device_ids)
+        pool_digests = {}
+        for device_id in device_ids:
+            pool = pools[device_id]
+            key = id(pool)
+            if key not in pool_digests:
+                pool_digests[key] = dataset_digest(pool)
+            snapshot = capture_calibration_state(self.fleet.get(device_id).qmodel)
+            self.store.init_device_round(
+                round_id,
+                device_id,
+                state_digest=snapshot.digest(),
+                pool_digest=pool_digests[key],
+                snapshot=snapshot,
+            )
+        return round_id
+
+    def poll(self, round_id: int) -> RoundStatus:
+        """Cheap, read-only progress snapshot of a round."""
+        record = self.store.get_round(round_id)
+        rows = self.store.device_rounds(round_id)
+        counts: Dict[str, int] = {}
+        attempts: Dict[str, int] = {}
+        quarantined: Dict[str, str] = {}
+        for row in rows:
+            counts[row.status] = counts.get(row.status, 0) + 1
+            attempts[row.device_id] = row.attempts
+            if row.status == "quarantined":
+                quarantined[row.device_id] = row.last_error or ""
+        return RoundStatus(
+            round_id=round_id,
+            status=record.status,
+            counts=counts,
+            attempts=attempts,
+            quarantined=quarantined,
+        )
+
+    def resume(self, pools: Mapping[str, Dataset]) -> List[RoundOutcome]:
+        """Drain every unfinished round in the store (crash-recovery entry)."""
+        return [
+            self.drain(round_id, pools) for round_id in self.store.unfinished_rounds()
+        ]
+
+    # ------------------------------------------------------------------- drain
+    def drain(self, round_id: int, pools: Mapping[str, Dataset]) -> RoundOutcome:
+        """Run a round to completion: retry, back off, quarantine, resume.
+
+        Safe to call on a fresh round, after a crash (interrupted ``running``
+        rows are restored to their round-start snapshot and retried), or on an
+        already-finished round (``done`` results are re-applied idempotently).
+        Completes for the healthy remainder even when devices quarantine;
+        never raises for per-device failures.
+        """
+        self.store.get_round(round_id)
+        rows = self.store.device_rounds(round_id)
+        if not rows:
+            raise KeyError(f"round {round_id} has no device rows")
+        self.store.set_round_status(round_id, "running")
+
+        outcome = RoundOutcome(round_id=round_id)
+        pending_rows = []
+        for row in rows:
+            if row.device_id not in pools:
+                raise KeyError(
+                    f"round {round_id} needs a pool for device {row.device_id!r}"
+                )
+            actual = dataset_digest(pools[row.device_id])
+            if actual != row.pool_digest:
+                raise ValueError(
+                    f"pool for device {row.device_id!r} does not match the one "
+                    f"submitted with round {round_id} (digest {actual[:12]}… vs "
+                    f"{row.pool_digest[:12]}…); resuming against different data "
+                    "would break bit-identity"
+                )
+            deployment = self.fleet.get(row.device_id)
+            if row.status == "done":
+                # Idempotent re-apply: after a process restart the in-memory
+                # device is back at round-start state, but its result is
+                # already durable — restore it rather than recalibrate.
+                restore_calibration_state(deployment.qmodel, row.result_state)
+                outcome.stats[row.device_id] = row.stats
+                outcome.statuses[row.device_id] = "done"
+                outcome.resumed_devices += 1
+            elif row.status == "quarantined":
+                outcome.statuses[row.device_id] = "quarantined"
+                outcome.quarantined[row.device_id] = row.last_error or ""
+            else:
+                # pending or interrupted-running: both restart from the
+                # persisted round-start snapshot (the bit-identity anchor).
+                restore_calibration_state(deployment.qmodel, row.snapshot)
+                if row.status == "running":
+                    outcome.resumed_devices += 1
+                pending_rows.append(row)
+
+        groups = self._build_groups(pending_rows)
+        outcome.num_groups = len(groups) + len(
+            {  # groups that already finished before a resume
+                (row.state_digest, row.pool_digest)
+                for row in rows
+                if row.status == "done"
+            }
+        )
+        self._execute_groups(round_id, groups, pools, outcome)
+        self.store.set_round_status(round_id, "done")
+        return outcome
+
+    @staticmethod
+    def _build_groups(rows) -> List[_Group]:
+        grouped: Dict[Tuple[str, str], _Group] = {}
+        for row in rows:
+            key = (row.state_digest, row.pool_digest)
+            if key not in grouped:
+                grouped[key] = _Group(
+                    key=f"{row.state_digest[:16]}:{row.pool_digest[:16]}",
+                    rep_id=row.device_id,
+                    member_ids=[],
+                    snapshot=row.snapshot,
+                    attempts=row.attempts,
+                )
+            group = grouped[key]
+            group.member_ids.append(row.device_id)
+            group.attempts = max(group.attempts, row.attempts)
+        return list(grouped.values())
+
+    # --------------------------------------------------------------- execution
+    def _execute_groups(
+        self,
+        round_id: int,
+        groups: List[_Group],
+        pools: Mapping[str, Dataset],
+        outcome: RoundOutcome,
+    ) -> None:
+        policy = self.retry_policy
+        first_wave = True
+        while groups:
+            eligible: List[_Group] = []
+            for group in groups:
+                if group.attempts >= policy.max_attempts:
+                    self._quarantine_group(round_id, group, outcome)
+                else:
+                    eligible.append(group)
+            if not eligible:
+                break
+            delay = max(
+                policy.backoff(group.key, group.attempts + 1) for group in eligible
+            )
+            if delay > 0:
+                time.sleep(delay)
+            if not first_wave:
+                outcome.retries += len(eligible)
+            first_wave = False
+
+            if self.workers > 1:
+                failed = self._run_wave_pooled(round_id, eligible, pools, outcome)
+            elif (
+                len(eligible) >= 2
+                and policy.timeout is None
+                and all(group.attempts == 0 for group in eligible)
+            ):
+                failed = self._run_wave_batched(round_id, eligible, pools, outcome)
+            else:
+                failed = []
+                for group in eligible:
+                    if not self._run_group_isolated(round_id, group, pools, outcome):
+                        failed.append(group)
+            groups = failed
+
+    def _mark_group_running(self, round_id: int, group: _Group) -> None:
+        group.attempts += 1
+        for device_id in group.member_ids:
+            self.store.mark_running(round_id, device_id)
+
+    def _finish_group(
+        self,
+        round_id: int,
+        group: _Group,
+        result_state: Any,
+        rep_stats: BitFlipCalibrationStats,
+        outcome: RoundOutcome,
+    ) -> None:
+        """Scatter the representative's result to every member, durably.
+
+        Members share the representative's exact start state and pool, so
+        restoring its resulting :class:`CalibrationRoundState` is bit-identical
+        to calibrating each member separately — that equivalence is what the
+        dedupe economics rest on (and what the tests pin).
+        """
+        for device_id in group.member_ids:
+            stats = copy.deepcopy(rep_stats)
+            restore_calibration_state(self.fleet.get(device_id).qmodel, result_state)
+            self.store.mark_done(round_id, device_id, result_state, stats)
+            outcome.stats[device_id] = stats
+            outcome.statuses[device_id] = "done"
+
+    def _fail_group(self, round_id: int, group: _Group, error: str) -> None:
+        for device_id in group.member_ids:
+            self.store.mark_failed(round_id, device_id, error)
+
+    def _quarantine_group(
+        self, round_id: int, group: _Group, outcome: RoundOutcome
+    ) -> None:
+        for device_id in group.member_ids:
+            row = self.store.get_device_round(round_id, device_id)
+            error = row.last_error or "attempts exhausted"
+            self.store.mark_quarantined(round_id, device_id, error)
+            outcome.statuses[device_id] = "quarantined"
+            outcome.quarantined[device_id] = error
+            # Leave the in-memory device at its round-start snapshot: a
+            # quarantined device keeps serving its last good calibration.
+            restore_calibration_state(
+                self.fleet.get(device_id).qmodel, group.snapshot
+            )
+
+    def _site(self, round_id: int, group: _Group) -> str:
+        """Fault-injection site label: stable, attempt-addressable."""
+        return f"round{round_id}:{group.rep_id}:a{group.attempts}"
+
+    def _run_group_isolated(
+        self,
+        round_id: int,
+        group: _Group,
+        pools: Mapping[str, Dataset],
+        outcome: RoundOutcome,
+    ) -> bool:
+        """Run one group in-process; returns True on success."""
+        self._mark_group_running(round_id, group)
+        deployment = self.fleet.get(group.rep_id)
+        started = time.perf_counter()
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.on_device_work(self._site(round_id, group))
+            result = self.calibrator.calibrate(
+                Fleet({group.rep_id: deployment}), {group.rep_id: pools[group.rep_id]}
+            )
+            elapsed = time.perf_counter() - started
+            timeout = self.retry_policy.timeout
+            if timeout is not None and elapsed > timeout:
+                raise TimeoutError(
+                    f"group {group.key} took {elapsed:.3f}s, over the "
+                    f"{timeout}s per-attempt timeout"
+                )
+        except Exception:
+            restore_calibration_state(deployment.qmodel, group.snapshot)
+            self._fail_group(round_id, group, traceback.format_exc())
+            return False
+        self._finish_group(
+            round_id,
+            group,
+            capture_calibration_state(deployment.qmodel),
+            result.stats[group.rep_id],
+            outcome,
+        )
+        return True
+
+    def _run_wave_batched(
+        self,
+        round_id: int,
+        groups: List[_Group],
+        pools: Mapping[str, Dataset],
+        outcome: RoundOutcome,
+    ) -> List[_Group]:
+        """Optimistic first wave: all groups in ONE batched calibrate call.
+
+        This is the hot path — representatives share BF forwards through the
+        batched calibrator exactly like a plain fleet round.  Any failure
+        falls back to isolated per-group execution (after restoring every
+        representative's snapshot), so one bad device cannot poison the wave
+        twice; the healthy groups then succeed on their isolated retry.
+        """
+        for group in groups:
+            self._mark_group_running(round_id, group)
+        reps = Fleet({group.rep_id: self.fleet.get(group.rep_id) for group in groups})
+        rep_pools = {group.rep_id: pools[group.rep_id] for group in groups}
+        try:
+            if self.fault_plan is not None:
+                for group in groups:
+                    self.fault_plan.on_device_work(self._site(round_id, group))
+            result = self.calibrator.calibrate(reps, rep_pools)
+        except Exception:
+            error = traceback.format_exc()
+            for group in groups:
+                restore_calibration_state(
+                    self.fleet.get(group.rep_id).qmodel, group.snapshot
+                )
+                self._fail_group(round_id, group, error)
+            return groups
+        for group in groups:
+            self._finish_group(
+                round_id,
+                group,
+                capture_calibration_state(self.fleet.get(group.rep_id).qmodel),
+                result.stats[group.rep_id],
+                outcome,
+            )
+        return []
+
+    def _run_wave_pooled(
+        self,
+        round_id: int,
+        groups: List[_Group],
+        pools: Mapping[str, Dataset],
+        outcome: RoundOutcome,
+    ) -> List[_Group]:
+        """Fan groups out over the fault-tolerant worker pool.
+
+        Each task carries the representative deployment pickled at its
+        round-start snapshot, so a worker crash loses nothing: the parent's
+        copy is untouched and the group simply retries.  Timeouts are
+        enforced preemptively by the pool (straggler worker terminated and
+        respawned).
+        """
+        pool = self._worker_pool()
+        for group in groups:
+            self._mark_group_running(round_id, group)
+        tasks = [
+            (
+                self._site(round_id, group),
+                group.rep_id,
+                self.fleet.get(group.rep_id),
+                pools[group.rep_id],
+                self.fault_plan,
+            )
+            for group in groups
+        ]
+        outcomes = pool.map_outcomes(
+            _run_group_in_worker, tasks, timeout=self.retry_policy.timeout
+        )
+        failed: List[_Group] = []
+        for group, result in zip(groups, outcomes):
+            if isinstance(result, WorkerFailure):
+                error = f"[{result.kind}] {result.exception}\n{result.worker_traceback}"
+                self._fail_group(round_id, group, error)
+                failed.append(group)
+            else:
+                result_state, rep_stats = result
+                self._finish_group(round_id, group, result_state, rep_stats, outcome)
+        return failed

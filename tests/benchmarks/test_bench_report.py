@@ -1,0 +1,60 @@
+"""Tests for the resilient BENCH report loader (corrupt-file recovery)."""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_config():
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        yield importlib.import_module("bench_config")
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+
+class TestLoadBenchReport:
+    def test_missing_file_is_empty_report(self, bench_config, tmp_path):
+        assert bench_config.load_bench_report(tmp_path / "nope.json") == {}
+
+    def test_valid_report_round_trips(self, bench_config, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"edge_calibration": {"speedup": 2.0}}))
+        assert bench_config.load_bench_report(path) == {
+            "edge_calibration": {"speedup": 2.0}
+        }
+
+    def test_truncated_json_backed_up_and_fresh(self, bench_config, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        truncated = '{"edge_calibration": {"speedup": 2.'
+        path.write_text(truncated)
+        with pytest.warns(UserWarning, match="not valid JSON"):
+            report = bench_config.load_bench_report(path)
+        assert report == {}
+        backup = tmp_path / "BENCH_perf.json.corrupt"
+        assert backup.read_text() == truncated  # evidence preserved
+
+    def test_wrong_top_level_type_backed_up_and_fresh(self, bench_config, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(UserWarning, match="not an object"):
+            assert bench_config.load_bench_report(path) == {}
+        assert (tmp_path / "BENCH_perf.json.corrupt").exists()
+
+    def test_merge_after_recovery_still_works(self, bench_config, tmp_path):
+        """The downstream pattern: load (corrupt) → update → write → reload."""
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("garbage{{{")
+        with pytest.warns(UserWarning):
+            report = bench_config.load_bench_report(path)
+        report["fleet_service"] = {"devices_per_sec": 10.0}
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        assert bench_config.load_bench_report(path) == report

@@ -309,3 +309,86 @@ class TestFusedFeatureExtraction:
         assert stats_fast.flips_per_epoch == stats_legacy.flips_per_epoch
         for name in codes_fast:
             np.testing.assert_array_equal(codes_fast[name], codes_legacy[name])
+
+
+class TestCalibrationRoundState:
+    """capture/restore of the state a calibration round mutates — the anchor
+    the durable fleet service resumes from."""
+
+    def _qmodel(self, trained_setup):
+        import copy
+
+        model, _, _ = trained_setup
+        return quantize_model(copy.deepcopy(model), bits=4)
+
+    def test_capture_restore_round_trip(self, trained_setup):
+        from repro.core.bitflip import (
+            capture_calibration_state,
+            restore_calibration_state,
+        )
+
+        qmodel = self._qmodel(trained_setup)
+        state = capture_calibration_state(qmodel)
+        before = state.digest()
+
+        # Drift both halves of the mutable state: codes and BN statistics.
+        name = next(iter(qmodel.snapshot_codes()))
+        drifted = qmodel.snapshot_codes()
+        drifted[name] = np.clip(drifted[name] + 1, 0, qmodel.config.num_levels - 1)
+        qmodel.restore_codes(drifted)
+        for layer in qmodel.model.modules():
+            if isinstance(layer, nn.BatchNorm):
+                layer.running_mean = layer.running_mean + 0.5
+        assert capture_calibration_state(qmodel).digest() != before
+
+        restore_calibration_state(qmodel, state)
+        assert capture_calibration_state(qmodel).digest() == before
+
+    def test_digest_covers_batchnorm_statistics(self, trained_setup):
+        """Two devices with equal codes but drifted BN stats must NOT share a
+        digest — deduping them would scatter a wrong trajectory."""
+        from repro.core.bitflip import capture_calibration_state
+
+        qmodel = self._qmodel(trained_setup)
+        before = capture_calibration_state(qmodel).digest()
+        for layer in qmodel.model.modules():
+            if isinstance(layer, nn.BatchNorm):
+                layer.running_var = layer.running_var * 1.01
+                break
+        assert capture_calibration_state(qmodel).digest() != before
+
+    def test_restore_rejects_foreign_architecture(self, trained_setup):
+        from repro.core.bitflip import (
+            CalibrationRoundState,
+            capture_calibration_state,
+            restore_calibration_state,
+        )
+
+        qmodel = self._qmodel(trained_setup)
+        good = capture_calibration_state(qmodel)
+        bogus = CalibrationRoundState(
+            codes=good.codes,
+            batchnorm={99: (np.zeros(3), np.ones(3))},
+        )
+        before = capture_calibration_state(qmodel).digest()
+        with pytest.raises(ValueError, match="different architecture"):
+            restore_calibration_state(qmodel, bogus)
+        # Validation failed up front: nothing was mutated.
+        assert capture_calibration_state(qmodel).digest() == before
+
+    def test_restore_copies_do_not_alias(self, trained_setup):
+        """Restoring must not alias the snapshot's arrays into the model —
+        a later round would otherwise corrupt the persisted snapshot."""
+        from repro.core.bitflip import (
+            capture_calibration_state,
+            restore_calibration_state,
+        )
+
+        qmodel = self._qmodel(trained_setup)
+        state = capture_calibration_state(qmodel)
+        restore_calibration_state(qmodel, state)
+        digest_before = state.digest()
+        for layer in qmodel.model.modules():
+            if isinstance(layer, nn.BatchNorm):
+                layer.running_mean += 123.0
+        assert state.digest() == digest_before

@@ -17,6 +17,7 @@ from repro.eval import (
     ParallelEvaluator,
     RunSpec,
     WorkerError,
+    WorkerFailure,
     WorkerPool,
     build_specs,
     derive_seeds,
@@ -57,6 +58,22 @@ def _double(payload, item):
 def _fail_on_three(payload, item):
     if item == 3:
         raise ValueError(f"cannot process {item}")
+    return item
+
+
+def _die_on_three(payload, item):
+    """Hard process death (no exception, no cleanup) — like a segfault."""
+    if item == 3:
+        import os
+
+        os._exit(17)
+    return item
+
+
+def _sleep_for(payload, item):
+    import time
+
+    time.sleep(item)
     return item
 
 
@@ -322,6 +339,76 @@ class TestWorkerPool:
         assert pool.closed
         with pytest.raises(RuntimeError, match="closed"):
             pool.map(_double, [1])
+
+
+class TestWorkerPoolFaultTolerance:
+    """The claim/done protocol must turn every worker failure mode into a
+    descriptive error or per-item failure record — never a hang."""
+
+    def test_double_close_is_noop(self):
+        pool = WorkerPool(payload=1, workers=2, mp_context="fork")
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_submit_after_close_pooled(self):
+        pool = WorkerPool(payload=1, workers=2, mp_context="fork")
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_double, [1])
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map_outcomes(_double, [1])
+
+    def test_worker_death_fails_item_not_map(self):
+        """A worker killed mid-item (os._exit — no exception, no cleanup)
+        must fail exactly that item; the others still complete."""
+        with WorkerPool(payload=1, workers=2, mp_context="fork") as pool:
+            outcomes = pool.map_outcomes(_die_on_three, [1, 2, 3, 4, 5])
+        assert [o for o in outcomes if not isinstance(o, WorkerFailure)] == [1, 2, 4, 5]
+        failure = outcomes[2]
+        assert isinstance(failure, WorkerFailure)
+        assert failure.kind == "worker-death"
+        assert "died" in failure.exception
+
+    def test_worker_death_raises_descriptive_error_from_map(self):
+        with WorkerPool(payload=1, workers=2, mp_context="fork") as pool:
+            with pytest.raises(WorkerError, match="died"):
+                pool.map(_die_on_three, [1, 2, 3, 4])
+
+    def test_pool_survives_death_across_map_calls(self):
+        """A worker that died during one map (between batches, from the
+        caller's view) must be respawned: the next map still works."""
+        with WorkerPool(payload=1, workers=2, mp_context="fork") as pool:
+            pool.map_outcomes(_die_on_three, [3])
+            assert pool.respawns >= 1
+            assert pool.map(_double, [5, 6]) == [5, 6]
+
+    def test_timeout_terminates_straggler(self):
+        with WorkerPool(payload=None, workers=2, mp_context="fork") as pool:
+            outcomes = pool.map_outcomes(_sleep_for, [0.0, 5.0], timeout=0.5)
+        assert outcomes[0] == 0.0
+        assert isinstance(outcomes[1], WorkerFailure)
+        assert outcomes[1].kind == "timeout"
+
+    def test_in_process_timeout_is_cooperative(self):
+        with WorkerPool(payload=None, workers=1) as pool:
+            outcomes = pool.map_outcomes(_sleep_for, [0.0, 0.2], timeout=0.05)
+        assert outcomes[0] == 0.0
+        assert isinstance(outcomes[1], WorkerFailure)
+        assert outcomes[1].kind == "timeout"
+
+    def test_map_outcomes_rejects_bad_timeout(self):
+        with WorkerPool(payload=None, workers=1) as pool:
+            with pytest.raises(ValueError, match="timeout"):
+                pool.map_outcomes(_double, [1], timeout=0.0)
+
+    def test_map_outcomes_collects_exceptions_without_raising(self):
+        with WorkerPool(payload=None, workers=1) as pool:
+            outcomes = pool.map_outcomes(_fail_on_three, [1, 2, 3, 4])
+        assert outcomes[0:2] == [1, 2]
+        assert isinstance(outcomes[2], WorkerFailure)
+        assert outcomes[2].kind == "exception"
+        assert outcomes[3] == 4
 
 
 class TestWorkerFailureSurfacing:

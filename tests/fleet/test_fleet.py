@@ -110,8 +110,20 @@ class TestFleetRegistry:
     def test_subset_unknown_device(self, packaged):
         _, _, deployment = packaged
         fleet = Fleet.replicate(deployment, 2, seed=0)
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"unknown device ids \['nope'\]"):
             fleet.subset(["device-0", "nope"])
+
+    def test_subset_lists_every_unknown_id(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 2, seed=0)
+        with pytest.raises(ValueError, match=r"'ghost-a'.*'ghost-b'"):
+            fleet.subset(["ghost-a", "device-1", "ghost-b"])
+
+    def test_subset_rejects_duplicates(self, packaged):
+        _, _, deployment = packaged
+        fleet = Fleet.replicate(deployment, 3, seed=0)
+        with pytest.raises(ValueError, match="duplicate device ids"):
+            fleet.subset(["device-0", "device-1", "device-0"])
 
     def test_num_parameters_and_summary(self, packaged):
         _, _, deployment = packaged

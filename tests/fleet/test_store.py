@@ -1,0 +1,172 @@
+"""Tests for the durable device-state store (SQLite WAL, write retry)."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.fleet.store import DeviceStateStore, StoreError
+
+
+def _snapshot(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"codes": rng.integers(0, 16, size=(4, 3)), "moments": rng.normal(size=5)}
+
+
+class TestLifecycle:
+    def test_round_and_device_round_lifecycle(self):
+        with DeviceStateStore() as store:
+            store.register_device("d0")
+            store.register_device("d1")
+            round_id = store.create_round(["d0", "d1"])
+            assert store.get_round(round_id).status == "submitted"
+            assert store.get_round(round_id).num_devices == 2
+
+            for device_id in ("d0", "d1"):
+                store.init_device_round(
+                    round_id, device_id, "digest-a", "pool-a", _snapshot()
+                )
+            rows = store.device_rounds(round_id)
+            assert [row.device_id for row in rows] == ["d0", "d1"]
+            assert all(row.status == "pending" and row.attempts == 0 for row in rows)
+
+            store.mark_running(round_id, "d0")
+            assert store.get_device_round(round_id, "d0").status == "running"
+            assert store.get_device_round(round_id, "d0").attempts == 1
+
+            store.mark_done(round_id, "d0", _snapshot(1), {"flips": 3})
+            row = store.get_device_round(round_id, "d0")
+            assert row.status == "done"
+            assert row.stats == {"flips": 3}
+
+    def test_attempts_accumulate_across_retries(self):
+        with DeviceStateStore() as store:
+            store.register_device("d0")
+            round_id = store.create_round(["d0"])
+            store.init_device_round(round_id, "d0", "x", "y", None)
+            for _ in range(3):
+                store.mark_running(round_id, "d0")
+                store.mark_failed(round_id, "d0", "boom")
+            row = store.get_device_round(round_id, "d0")
+            assert row.attempts == 3
+            assert row.status == "pending"
+            assert row.last_error == "boom"
+
+    def test_mark_done_clears_last_error(self):
+        with DeviceStateStore() as store:
+            store.register_device("d0")
+            round_id = store.create_round(["d0"])
+            store.init_device_round(round_id, "d0", "x", "y", None)
+            store.mark_running(round_id, "d0")
+            store.mark_failed(round_id, "d0", "first attempt blew up")
+            store.mark_running(round_id, "d0")
+            store.mark_done(round_id, "d0", None, None)
+            assert store.get_device_round(round_id, "d0").last_error is None
+
+    def test_unfinished_rounds_and_status_transitions(self):
+        with DeviceStateStore() as store:
+            store.register_device("d0")
+            first = store.create_round(["d0"])
+            second = store.create_round(["d0"])
+            assert store.unfinished_rounds() == [first, second]
+            store.set_round_status(first, "done")
+            assert store.unfinished_rounds() == [second]
+            with pytest.raises(ValueError, match="unknown round status"):
+                store.set_round_status(second, "exploded")
+
+    def test_validation_errors(self):
+        with DeviceStateStore() as store:
+            with pytest.raises(KeyError):
+                store.get_round(999)
+            with pytest.raises(KeyError):
+                store.get_device_round(1, "ghost")
+            with pytest.raises(ValueError, match="at least one device"):
+                store.create_round([])
+            with pytest.raises(ValueError):
+                DeviceStateStore(write_retries=0)
+
+
+class TestSnapshotRoundTrip:
+    def test_numpy_state_is_byte_exact(self):
+        """Pickled blobs must round-trip numpy state losslessly — the
+        bit-identity contract forbids any decimal-text detour."""
+        with DeviceStateStore() as store:
+            store.register_device("d0")
+            round_id = store.create_round(["d0"])
+            snapshot = _snapshot(7)
+            store.init_device_round(round_id, "d0", "x", "y", snapshot)
+            loaded = store.get_device_round(round_id, "d0").snapshot
+            assert loaded["codes"].dtype == snapshot["codes"].dtype
+            np.testing.assert_array_equal(loaded["codes"], snapshot["codes"])
+            assert loaded["moments"].tobytes() == snapshot["moments"].tobytes()
+
+
+class TestQuarantine:
+    def test_quarantine_and_release(self):
+        with DeviceStateStore() as store:
+            store.register_device("d0")
+            round_id = store.create_round(["d0"])
+            store.init_device_round(round_id, "d0", "x", "y", None)
+            store.mark_quarantined(round_id, "d0", "Traceback: kaboom")
+            assert store.quarantined_devices() == {"d0": "Traceback: kaboom"}
+            assert store.get_device_round(round_id, "d0").status == "quarantined"
+            store.release_device("d0")
+            assert store.quarantined_devices() == {}
+
+    def test_quarantine_survives_reopen(self, tmp_path):
+        """Durability: quarantine status and the persisted traceback must
+        outlive the process (simulated by close + reopen)."""
+        path = tmp_path / "fleet.db"
+        with DeviceStateStore(path) as store:
+            store.register_device("d0")
+            round_id = store.create_round(["d0"])
+            store.init_device_round(round_id, "d0", "x", "y", _snapshot())
+            store.mark_quarantined(round_id, "d0", "poisoned")
+        with DeviceStateStore(path) as reopened:
+            assert reopened.quarantined_devices() == {"d0": "poisoned"}
+            assert reopened.unfinished_rounds() == [round_id]
+            row = reopened.get_device_round(round_id, "d0")
+            assert row.status == "quarantined"
+            np.testing.assert_array_equal(
+                row.snapshot["codes"], _snapshot()["codes"]
+            )
+
+    def test_register_preserves_quarantine(self):
+        with DeviceStateStore() as store:
+            store.register_device("d0")
+            store.quarantine_device("d0", "bad")
+            store.register_device("d0")
+            assert "d0" in store.quarantined_devices()
+
+
+class TestWriteRetry:
+    def test_transient_write_failure_is_retried(self):
+        with DeviceStateStore(write_retries=5, retry_sleep=0.0) as store:
+            failures = {"left": 2}
+
+            def flaky(sql):
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise sqlite3.OperationalError("injected: database is locked")
+
+            store.before_write = flaky
+            store.register_device("d0")
+            store.before_write = None
+            assert failures["left"] == 0
+            round_id = store.create_round(["d0"])
+            assert store.get_round(round_id).num_devices == 1
+
+    def test_persistent_write_failure_raises_store_error(self):
+        with DeviceStateStore(write_retries=3, retry_sleep=0.0) as store:
+            calls = {"n": 0}
+
+            def always_fail(sql):
+                calls["n"] += 1
+                raise sqlite3.OperationalError("disk I/O error")
+
+            store.before_write = always_fail
+            with pytest.raises(StoreError, match="after 3 attempts"):
+                store.register_device("d0")
+            assert calls["n"] == 3

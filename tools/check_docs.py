@@ -8,10 +8,12 @@ Two checks, both of which fail the build:
    in-page anchors (``#section``) are skipped; ``path#anchor`` links are
    checked for the path part.
 
-2. **Kernel-layer docstrings** — every public function, class and public
-   method defined in the :mod:`repro.nn.kernels` package must carry a
-   docstring.  The kernel layer is the repo's pluggable-backend surface;
-   an undocumented public hook there is an API regression.
+2. **Public-surface docstrings** — every public function, class and public
+   method defined in the :mod:`repro.nn.kernels` and :mod:`repro.fleet`
+   packages must carry a docstring.  The kernel layer is the repo's
+   pluggable-backend surface and the fleet package is its operational
+   (service/store/faults) surface; an undocumented public hook in either
+   is an API regression.
 
 Usage::
 
@@ -71,14 +73,15 @@ def _is_public(name: str) -> bool:
     return not name.startswith("_")
 
 
-def check_kernel_docstrings() -> list:
-    """Return error strings for undocumented public API in repro.nn.kernels."""
-    import repro.nn.kernels as kernels_pkg
+def check_package_docstrings(package_name: str) -> list:
+    """Return error strings for undocumented public API in ``package_name``."""
+    package = importlib.import_module(package_name)
+    prefix = package_name.split(".")
 
     errors = []
-    modules = [kernels_pkg]
-    for info in pkgutil.iter_modules(kernels_pkg.__path__):
-        modules.append(importlib.import_module(f"repro.nn.kernels.{info.name}"))
+    modules = [package]
+    for info in pkgutil.iter_modules(package.__path__):
+        modules.append(importlib.import_module(f"{package_name}.{info.name}"))
 
     seen = set()
     for module in modules:
@@ -87,7 +90,7 @@ def check_kernel_docstrings() -> list:
                 continue
             if not (inspect.isfunction(obj) or inspect.isclass(obj)):
                 continue
-            if getattr(obj, "__module__", "").split(".")[:3] != ["repro", "nn", "kernels"]:
+            if getattr(obj, "__module__", "").split(".")[: len(prefix)] != prefix:
                 continue  # re-exported from elsewhere (e.g. numpy)
             qualname = f"{obj.__module__}.{obj.__qualname__}"
             if qualname in seen:
@@ -107,9 +110,15 @@ def check_kernel_docstrings() -> list:
     return errors
 
 
+#: Packages whose public surface must stay documented.
+DOCUMENTED_PACKAGES = ("repro.nn.kernels", "repro.fleet")
+
+
 def main() -> int:
     """Run both checks; print findings and exit non-zero on any failure."""
-    errors = check_links() + check_kernel_docstrings()
+    errors = check_links()
+    for package_name in DOCUMENTED_PACKAGES:
+        errors += check_package_docstrings(package_name)
     if errors:
         print(f"docs check FAILED ({len(errors)} problem(s)):")
         for error in errors:
@@ -117,7 +126,7 @@ def main() -> int:
         return 1
     files = [str(p.relative_to(REPO_ROOT)) for p in iter_markdown_files()]
     print(f"docs check ok: links valid in {', '.join(files)}; "
-          "repro.nn.kernels public API fully documented")
+          f"public API fully documented in {', '.join(DOCUMENTED_PACKAGES)}")
     return 0
 
 
