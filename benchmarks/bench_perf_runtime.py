@@ -377,15 +377,15 @@ def main(argv=None) -> int:
     config = dict(SMOKE_CONFIG if args.smoke else FULL_CONFIG)
 
     print("measuring edge calibration (baseline: float64, per-tensor BF, full sync)...")
-    edge_baseline = _measure_edge(config, np.float64, fused=False, incremental=False)
+    edge_baseline = _measure_edge(config, np.float64, fused=False, incremental=False)  # repro-lint: disable=dtype-discipline -- the benchmark's explicit float64 baseline arm
     print(f"  baseline: {edge_baseline:.2f} steps/s")
     print("measuring edge calibration (fast: float32, fused BF, incremental sync)...")
-    edge_fast = _measure_edge(config, np.float32, fused=True, incremental=True)
+    edge_fast = _measure_edge(config, np.float32, fused=True, incremental=True)  # repro-lint: disable=dtype-discipline -- the benchmark's explicit float32 fast arm
     print(f"  fast:     {edge_fast:.2f} steps/s")
 
     print("measuring QAT calibration epochs...")
-    qat_baseline = _measure_qat(config, np.float64)
-    qat_fast = _measure_qat(config, np.float32)
+    qat_baseline = _measure_qat(config, np.float64)  # repro-lint: disable=dtype-discipline -- the benchmark's explicit float64 baseline arm
+    qat_fast = _measure_qat(config, np.float32)  # repro-lint: disable=dtype-discipline -- the benchmark's explicit float32 fast arm
     print(f"  baseline: {qat_baseline * 1e3:.1f} ms/epoch   fast: {qat_fast * 1e3:.1f} ms/epoch")
 
     print("measuring fused QAT engine (flat arena vs per-tensor STE, both float32)...")

@@ -23,6 +23,7 @@ from repro.nn.module import Module
 from repro.nn.training import iterate_minibatches
 from repro.quantization.calibration import calibrate_with_backprop
 from repro.quantization.qmodel import QuantizedModel, quantize_model
+from repro.utils.seeding import default_rng_fallback
 
 
 class ReplayBuffer:
@@ -37,7 +38,7 @@ class ReplayBuffer:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = default_rng_fallback(rng)
         self._features: List[np.ndarray] = []
         self._labels: List[int] = []
         self._logits: List[Optional[np.ndarray]] = []

@@ -10,6 +10,7 @@ import numpy as np
 from repro.baselines.base import AdaptationReport, BackpropContinualMethod
 from repro.data.dataset import Dataset
 from repro.nn.training import iterate_minibatches
+from repro.utils.seeding import default_rng_fallback
 
 
 def k_center_greedy(
@@ -27,7 +28,7 @@ def k_center_greedy(
     count = flat.shape[0]
     if size >= count:
         return np.arange(count)
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = default_rng_fallback(rng)
     selected = [int(rng.integers(0, count))]
     distances = np.linalg.norm(flat - flat[selected[0]], axis=1)
     while len(selected) < size:

@@ -26,6 +26,7 @@ from repro.nn.module import Module
 from repro.quantization.calibration import CalibrationResult, calibrate_with_backprop
 from repro.quantization.qmodel import QuantizedModel
 from repro.quantization.quantizer import QuantizationConfig, UniformQuantizer
+from repro.utils.seeding import default_rng_fallback
 
 #: Number of per-parameter features produced by :func:`extract_parameter_features`.
 NUM_FEATURES = 5
@@ -600,7 +601,7 @@ class BitFlipNetwork(Module):
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         self.num_features = num_features
         self.network = self.register_module(
             "network",
@@ -707,7 +708,7 @@ class BitFlipTrainer:
         self.bf_epochs = bf_epochs
         self.bf_lr = bf_lr
         self.max_samples = max_samples
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = default_rng_fallback(rng)
 
     def train(
         self,

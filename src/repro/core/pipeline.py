@@ -37,6 +37,7 @@ from repro.data.streams import StreamScenario
 from repro.nn.module import Module
 from repro.quantization.calibration import calibrate_with_backprop
 from repro.quantization.qmodel import QuantizedModel, quantize_model
+from repro.utils.seeding import default_rng_fallback
 
 
 @dataclass
@@ -134,7 +135,7 @@ class EdgeDeployment:
         self.qcore = qcore.copy()
         self.use_bitflip = use_bitflip
         self.use_update = use_update
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = default_rng_fallback(rng)
         self.calibrator = BitFlipCalibrator(
             bitflip,
             epochs=calibration_epochs,

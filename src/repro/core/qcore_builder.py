@@ -22,6 +22,7 @@ from repro.nn.optim import Optimizer
 from repro.nn.training import TrainingHistory, predict_labels, train_epoch
 from repro.quantization.qmodel import temporarily_quantized
 from repro.utils.validation import ensure_positive_int
+from repro.utils.seeding import default_rng_fallback
 
 
 @dataclass
@@ -88,7 +89,7 @@ class QCoreBuilder:
         counters; the full-precision model itself is evaluated as level 32.
         """
         ensure_positive_int(epochs, "epochs")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         tracked_levels = list(self.levels)
         if self.track_full_precision:
             tracked_levels.append(QuantizationMissTracker.FULL_PRECISION_LEVEL)
@@ -146,7 +147,7 @@ class QCoreBuilder:
         residues are resolved by largest-remainder allocation so the subset
         has exactly ``size`` examples.
         """
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         size = self.size if size is None else ensure_positive_int(size, "size")
         misses_per_example = np.asarray(misses_per_example, dtype=np.int64)
         if misses_per_example.shape[0] != len(dataset):
@@ -194,7 +195,7 @@ class QCoreBuilder:
           (e.g. ``"core-4"``); ``"core-32"`` uses the full-precision misses;
         * ``"random"`` — uniform random subset of the same size.
         """
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         size = self.size if size is None else size
         variant = variant.lower()
         if variant == "qcore":

@@ -20,6 +20,7 @@ from repro.core.qcore_builder import QCoreBuilder
 from repro.core.quant_misses import QuantizationMissTracker
 from repro.data.dataset import Dataset
 from repro.quantization.qmodel import QuantizedModel
+from repro.utils.seeding import default_rng_fallback
 
 
 @dataclass
@@ -49,7 +50,7 @@ class QCoreUpdater:
         if epochs <= 0:
             raise ValueError("epochs must be positive")
         self.epochs = epochs
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = default_rng_fallback(rng)
 
     # ------------------------------------------------------------------ pools
     @staticmethod

@@ -9,6 +9,7 @@ import numpy as np
 from repro.coresets.base import CoresetStrategy
 from repro.data.dataset import Dataset
 from repro.nn.module import Module
+from repro.utils.seeding import default_rng_fallback
 
 
 def kmeans(
@@ -58,7 +59,7 @@ class KMeansCoreset(CoresetStrategy):
         rng: Optional[np.random.Generator] = None,
         misses: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         flat = dataset.features.reshape(len(dataset), -1)
         centroids, _ = kmeans(flat, size, rng, iterations=self.iterations)
         selected = []

@@ -10,6 +10,7 @@ from repro.coresets.base import CoresetStrategy
 from repro.data.dataset import Dataset
 from repro.nn.module import Module
 from repro.nn.training import predict_proba
+from repro.utils.seeding import default_rng_fallback
 
 
 class RandomSubset(CoresetStrategy):
@@ -18,7 +19,7 @@ class RandomSubset(CoresetStrategy):
     name = "Random"
 
     def select(self, dataset, model, size, rng=None, misses=None) -> np.ndarray:
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         return rng.choice(len(dataset), size=size, replace=False)
 
 
@@ -61,14 +62,14 @@ class NormalDistributionSampler(CoresetStrategy):
     name = "Normal Distrib."
 
     def select(self, dataset, model, size, rng=None, misses=None) -> np.ndarray:
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         if misses is None:
             raise ValueError(
                 "NormalDistributionSampler requires per-example quantization misses"
             )
         # Probability math stays float64 regardless of the compute dtype so
         # the normalised vector sums to 1 within float64 tolerance.
-        misses = np.asarray(misses, dtype=np.float64)
+        misses = np.asarray(misses, dtype=np.float64)  # repro-lint: disable=dtype-discipline -- probability vector must normalise to 1 in float64 regardless of compute dtype
         if misses.shape[0] != len(dataset):
             raise ValueError("misses must have one entry per dataset example")
         mean = float(misses.mean())

@@ -98,7 +98,7 @@ class Dataset:
         """
         # Validation-only input: stays float64 regardless of the compute dtype
         # so the tight sum-to-1 tolerance doesn't reject valid fractions.
-        fractions = np.asarray(fractions, dtype=np.float64)
+        fractions = np.asarray(fractions, dtype=np.float64)  # repro-lint: disable=dtype-discipline -- validation-only input; split boundaries must not depend on compute dtype
         if np.any(fractions <= 0) or abs(fractions.sum() - 1.0) > 1e-9:
             raise ValueError("fractions must be positive and sum to 1")
         parts_indices: List[List[int]] = [[] for _ in fractions]

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset, DomainDataset, MultiDomainDataset
 from repro.utils.validation import ensure_positive_int
+from repro.utils.seeding import default_rng_fallback
 
 
 @dataclass
@@ -111,7 +112,7 @@ def build_stream_scenario(
     """
     if source == target:
         raise ValueError("source and target domains must differ")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = default_rng_fallback(rng)
     source_domain = dataset[source]
     target_domain = dataset[target]
     train_rng, test_rng = _spawn_children(rng, 2)

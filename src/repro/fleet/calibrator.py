@@ -42,6 +42,7 @@ class FleetCalibrationResult:
 
     @property
     def total_flips(self) -> int:
+        """Total bit flips applied across every device in the fleet."""
         return sum(stat.total_flips for stat in self.stats.values())
 
     @property

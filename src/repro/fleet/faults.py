@@ -94,7 +94,8 @@ class FaultSpec:
     delay: float = 0.0
     hard: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
+        """Validate the spec eagerly so a bad plan fails at construction."""
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
         if self.max_fires < 1:

@@ -186,6 +186,7 @@ class RoundOutcome:
 
     @property
     def calibrated_devices(self) -> int:
+        """Number of devices that reached ``done`` status this round."""
         return sum(1 for status in self.statuses.values() if status == "done")
 
 

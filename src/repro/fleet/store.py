@@ -39,7 +39,7 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "DeviceRoundRecord",
@@ -60,7 +60,7 @@ class StoreError(RuntimeError):
 
 def _utcnow() -> str:
     """Current UTC time as an ISO-8601 string (sortable, timezone-explicit)."""
-    return _datetime.datetime.now(_datetime.timezone.utc).isoformat()
+    return _datetime.datetime.now(_datetime.timezone.utc).isoformat()  # repro-lint: disable=rng-discipline -- audit metadata only; timestamps never feed numerics
 
 
 @dataclass
@@ -146,7 +146,7 @@ class DeviceStateStore:
         path: Union[str, Path] = ":memory:",
         write_retries: int = 5,
         retry_sleep: float = 0.01,
-    ):
+    ) -> None:
         self.path = str(path)
         self.write_retries = int(write_retries)
         self.retry_sleep = float(retry_sleep)
@@ -169,7 +169,7 @@ class DeviceStateStore:
         self.before_write: Optional[Callable[[str], None]] = None
 
     # --------------------------------------------------------------- plumbing
-    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+    def _execute(self, sql: str, params: Tuple[Any, ...] = ()) -> sqlite3.Cursor:
         """Run one mutating statement with bounded retry on transient errors."""
         last_error: Optional[Exception] = None
         for attempt in range(self.write_retries):
@@ -188,15 +188,13 @@ class DeviceStateStore:
         ) from last_error
 
     def close(self) -> None:
-        """Close the SQLite connection; idempotent."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """Close the SQLite connection; idempotent (sqlite3 allows re-close)."""
+        self._conn.close()
 
     def __enter__(self) -> "DeviceStateStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ---------------------------------------------------------------- devices
@@ -242,6 +240,7 @@ class DeviceStateStore:
             "VALUES ('submitted', ?, ?, ?)",
             (len(device_ids), now, now),
         )
+        assert cursor.lastrowid is not None  # INSERT always assigns a rowid
         return int(cursor.lastrowid)
 
     def set_round_status(self, round_id: int, status: str) -> None:
@@ -367,7 +366,7 @@ class DeviceStateStore:
 
     @staticmethod
     def _to_record(row: sqlite3.Row) -> DeviceRoundRecord:
-        def load(blob):
+        def load(blob: Optional[bytes]) -> Any:
             return pickle.loads(blob) if blob is not None else None
 
         return DeviceRoundRecord(

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro import nn
+from repro.utils.seeding import default_rng_fallback
 
 
 def _inception_block(
@@ -61,7 +62,7 @@ class InceptionTimeSurrogate(nn.Sequential):
         depth: int = 2,
         rng: Optional[np.random.Generator] = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         if depth <= 0:
             raise ValueError("depth must be positive")
         layers = []

@@ -7,6 +7,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import nn
+from repro.utils.seeding import default_rng_fallback
 
 
 class MLPClassifier(nn.Sequential):
@@ -29,7 +30,7 @@ class MLPClassifier(nn.Sequential):
         hidden: Sequence[int] = (32,),
         rng: Optional[np.random.Generator] = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         layers = []
         previous = in_features
         for index, width in enumerate(hidden):

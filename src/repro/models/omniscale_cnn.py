@@ -7,6 +7,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import nn
+from repro.utils.seeding import default_rng_fallback
 
 
 class OmniScaleCNNSurrogate(nn.Sequential):
@@ -38,7 +39,7 @@ class OmniScaleCNNSurrogate(nn.Sequential):
         branch_channels: int = 4,
         rng: Optional[np.random.Generator] = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         if not kernel_sizes:
             raise ValueError("kernel_sizes must not be empty")
         first_bank = nn.ParallelConcat(

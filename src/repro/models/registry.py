@@ -12,6 +12,7 @@ from repro.models.mlp import MLPClassifier
 from repro.models.omniscale_cnn import OmniScaleCNNSurrogate
 from repro.models.resnet import ResNetSurrogate
 from repro.models.vgg import VGGSurrogate
+from repro.utils.seeding import default_rng_fallback
 
 ModelFactory = Callable[..., Module]
 
@@ -45,7 +46,7 @@ def build_model(
     rng:
         Random generator for weight initialisation.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = default_rng_fallback(rng)
     key = None
     for registered in MODEL_REGISTRY:
         if registered.lower() == name.lower():

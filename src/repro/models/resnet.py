@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro import nn
+from repro.utils.seeding import default_rng_fallback
 
 
 def _basic_block(channels: int, rng: np.random.Generator, name: str) -> nn.Module:
@@ -48,7 +49,7 @@ class ResNetSurrogate(nn.Sequential):
         blocks_per_stage: int = 1,
         rng: Optional[np.random.Generator] = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         if blocks_per_stage <= 0:
             raise ValueError("blocks_per_stage must be positive")
         layers = [

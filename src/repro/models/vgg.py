@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro import nn
+from repro.utils.seeding import default_rng_fallback
 
 
 class VGGSurrogate(nn.Sequential):
@@ -37,7 +38,7 @@ class VGGSurrogate(nn.Sequential):
         base_channels: int = 8,
         rng: Optional[np.random.Generator] = None,
     ):
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = default_rng_fallback(rng)
         if image_size < 4:
             raise ValueError("image_size must be at least 4")
         stage2_channels = base_channels * 2

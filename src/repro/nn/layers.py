@@ -18,10 +18,11 @@ from repro.nn import initializers
 from repro.nn import kernels
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
+from repro.utils.seeding import default_rng_fallback
 
 
 def _default_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
-    return rng if rng is not None else np.random.default_rng(0)
+    return default_rng_fallback(rng)
 
 
 class Identity(Module):

@@ -38,7 +38,7 @@ class SegmentLayout:
     bit-flip features across homogeneous devices.
     """
 
-    def __init__(self, names: Sequence[str], shapes: Sequence[Tuple[int, ...]]):
+    def __init__(self, names: Sequence[str], shapes: Sequence[Tuple[int, ...]]) -> None:
         if len(names) != len(shapes):
             raise ValueError("names and shapes must have the same length")
         if len(set(names)) != len(names):
@@ -62,9 +62,11 @@ class SegmentLayout:
 
     @property
     def num_segments(self) -> int:
+        """Number of named segments in the layout."""
         return len(self.names)
 
     def index(self, name: str) -> int:
+        """Position of segment ``name`` in layout order."""
         return self._index[name]
 
     def view(self, buffer: np.ndarray, name: str) -> np.ndarray:
@@ -129,14 +131,14 @@ class ParameterArena:
         layout: SegmentLayout,
         config: QuantizationConfig,
         dtype: Optional[np.dtype] = None,
-    ):
+    ) -> None:
         self.layout = layout
         self.config = config
         dtype = np.dtype(dtype) if dtype is not None else runtime.get_dtype()
         self.latent = np.zeros(layout.size, dtype=dtype)
         self.weights = np.zeros(layout.size, dtype=dtype)
         self.codes = np.zeros(layout.size, dtype=np.int64)
-        self.scales = np.ones(layout.num_segments, dtype=np.float64)
+        self.scales = np.ones(layout.num_segments, dtype=np.float64)  # repro-lint: disable=dtype-discipline -- scale arithmetic is float64 by the bit-identity contract
         self.zero_points = np.zeros(layout.num_segments, dtype=np.int64)
         self._quantizer = UniformQuantizer(config)
         # Hot-path caches for the symmetric fast path below: all
@@ -159,25 +161,32 @@ class ParameterArena:
     # -- convenience views --------------------------------------------------
     @property
     def size(self) -> int:
+        """Total number of scalar elements across all buffers."""
         return self.layout.size
 
     @property
     def names(self) -> List[str]:
+        """Segment names in layout order."""
         return self.layout.names
 
     def latent_view(self, name: str) -> np.ndarray:
+        """Zero-copy view of ``name``'s full-precision master weights."""
         return self.layout.view(self.latent, name)
 
     def weights_view(self, name: str) -> np.ndarray:
+        """Zero-copy view of ``name``'s dequantized compute weights."""
         return self.layout.view(self.weights, name)
 
     def codes_view(self, name: str) -> np.ndarray:
+        """Zero-copy view of ``name``'s integer codes."""
         return self.layout.view(self.codes, name)
 
     def scale_of(self, name: str) -> float:
+        """Scale of ``name``'s most recent (fake-)quantization pass."""
         return float(self.scales[self.layout.index(name)])
 
     def zero_point_of(self, name: str) -> int:
+        """Zero point of ``name``'s most recent (fake-)quantization pass."""
         return int(self.zero_points[self.layout.index(name)])
 
     # -- fused passes -------------------------------------------------------
@@ -206,7 +215,7 @@ class ParameterArena:
         """
         np.abs(self.latent, out=self._scratch)
         max_abs = np.maximum.reduceat(self._scratch, self._dense_starts).astype(
-            np.float64
+            np.float64  # repro-lint: disable=dtype-discipline -- scale arithmetic is float64 by the bit-identity contract
         )
         np.divide(max_abs, self.config.qmax, out=self.scales)
         if not self.scales.all():
@@ -214,12 +223,14 @@ class ParameterArena:
             # back to unit scale, exactly like ``quantize_segments``.
             self.scales[self.scales == 0.0] = 1.0
 
-    def _divide_segments(self, source_segments, scales) -> None:
+    def _divide_segments(
+        self, source_segments: Sequence[np.ndarray], scales: Sequence[float]
+    ) -> None:
         """``scratch[seg] = source[seg] / scale[seg]`` with scalar operands."""
         for seg_in, seg_out, scale in zip(source_segments, self._scratch_segments, scales):
             np.divide(seg_in, scale, out=seg_out)
 
-    def _multiply_into_weights(self, scales) -> None:
+    def _multiply_into_weights(self, scales: Sequence[float]) -> None:
         """``weights[seg] = scratch[seg] * scale[seg]`` with scalar operands."""
         for seg_in, seg_out, scale in zip(self._scratch_segments, self._weight_segments, scales):
             np.multiply(seg_in, scale, out=seg_out)

@@ -23,6 +23,7 @@ from repro.nn import kernels
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.training import iterate_minibatches
 from repro.quantization.qmodel import QuantizedModel
+from repro.utils.seeding import default_rng_fallback
 
 EpochHook = Callable[[int, QuantizedModel, Dict[str, np.ndarray], Dict[str, np.ndarray]], None]
 
@@ -116,7 +117,7 @@ def calibrate_with_backprop(
 
     loss_fn = CrossEntropyLoss()
     result = CalibrationResult()
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = default_rng_fallback(rng)
 
     kernel_scope = (
         kernels.use_backend(conv_kernel) if conv_kernel is not None else nullcontext()

@@ -9,7 +9,7 @@ asymmetric (min/max) variants, both per tensor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class QuantizationConfig:
     symmetric: bool = True
     per_channel: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 2 <= self.bits <= 32:
             raise ValueError(f"bits must lie in [2, 32], got {self.bits}")
 
@@ -123,7 +123,7 @@ class QuantizedTensor:
 class UniformQuantizer:
     """Quantize/dequantize tensors uniformly at a fixed bit-width."""
 
-    def __init__(self, config: QuantizationConfig):
+    def __init__(self, config: QuantizationConfig) -> None:
         self.config = config
 
     def quantize(self, values: np.ndarray, name: str = "") -> QuantizedTensor:
@@ -189,7 +189,7 @@ class UniformQuantizer:
         offsets = np.asarray(offsets, dtype=np.int64)
         num_segments = len(offsets) - 1
         cfg = self.config
-        scales = np.ones(num_segments, dtype=np.float64)
+        scales = np.ones(num_segments, dtype=np.float64)  # repro-lint: disable=dtype-discipline -- scale arithmetic is float64 by the bit-identity contract
         zero_points = np.zeros(num_segments, dtype=np.int64)
         sizes = np.diff(offsets)
         valid = sizes > 0
@@ -200,15 +200,15 @@ class UniformQuantizer:
         # exactly one segment each.
         starts = offsets[:-1][valid]
         if cfg.symmetric:
-            max_abs = np.maximum.reduceat(np.abs(flat), starts).astype(np.float64)
+            max_abs = np.maximum.reduceat(np.abs(flat), starts).astype(np.float64)  # repro-lint: disable=dtype-discipline -- scale arithmetic is float64 by the bit-identity contract
             seg_scales = max_abs / cfg.qmax
             # == 0.0 covers both all-zero segments and subnormal-magnitude
             # ranges whose scale underflowed — the scalar path's fallback.
             scales[valid] = np.where(seg_scales == 0.0, 1.0, seg_scales)
         else:
             # Zero-inclusive range, mirroring the scalar path exactly.
-            vmin = np.minimum(np.minimum.reduceat(flat, starts).astype(np.float64), 0.0)
-            vmax = np.maximum(np.maximum.reduceat(flat, starts).astype(np.float64), 0.0)
+            vmin = np.minimum(np.minimum.reduceat(flat, starts).astype(np.float64), 0.0)  # repro-lint: disable=dtype-discipline -- scale arithmetic is float64 by the bit-identity contract
+            vmax = np.maximum(np.maximum.reduceat(flat, starts).astype(np.float64), 0.0)  # repro-lint: disable=dtype-discipline -- scale arithmetic is float64 by the bit-identity contract
             seg_scales = (vmax - vmin) / (cfg.qmax - cfg.qmin)
             degenerate = seg_scales == 0.0  # constant segment or underflow
             seg_scales = np.where(degenerate, 1.0, seg_scales)
@@ -309,7 +309,7 @@ class UniformQuantizer:
 
 
 def quantize_state(
-    state: dict, config: QuantizationConfig
+    state: Mapping[str, np.ndarray], config: QuantizationConfig
 ) -> List[QuantizedTensor]:
     """Quantize every array in a ``state_dict``-style mapping.
 

@@ -35,11 +35,14 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, Union
+from typing import Iterator, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 DTypeLike = Union[str, type, np.dtype]
+
+ShapeLike = Union[int, Tuple[int, ...]]
 
 #: The compute dtype used when nothing else is configured.
 DEFAULT_DTYPE = np.dtype(np.float32)
@@ -103,7 +106,7 @@ def use_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
         set_dtype(previous)
 
 
-def asarray(values) -> np.ndarray:
+def asarray(values: ArrayLike) -> np.ndarray:
     """View (or cast) ``values`` as an array of the active compute dtype.
 
     A no-op (no copy) when ``values`` is already an array of the active dtype,
@@ -112,12 +115,12 @@ def asarray(values) -> np.ndarray:
     return np.asarray(values, dtype=_compute_dtype)
 
 
-def zeros(shape) -> np.ndarray:
+def zeros(shape: ShapeLike) -> np.ndarray:
     """An all-zero array of the active compute dtype."""
     return np.zeros(shape, dtype=_compute_dtype)
 
 
-def empty(shape) -> np.ndarray:
+def empty(shape: ShapeLike) -> np.ndarray:
     """An uninitialised array of the active compute dtype.
 
     For preallocated scratch buffers on hot paths (e.g. the fused QAT
@@ -126,7 +129,7 @@ def empty(shape) -> np.ndarray:
     return np.empty(shape, dtype=_compute_dtype)
 
 
-def ones(shape) -> np.ndarray:
+def ones(shape: ShapeLike) -> np.ndarray:
     """An all-one array of the active compute dtype."""
     return np.ones(shape, dtype=_compute_dtype)
 

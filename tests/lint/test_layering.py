@@ -1,0 +1,57 @@
+"""The shipped layer DAG is the single source of truth.
+
+``docs/architecture.md`` embeds the DAG in a fenced ``layers`` block;
+this test asserts it matches :data:`tools.lint.config.LAYERS` exactly, so
+the prose architecture page can never drift from what CI enforces.
+"""
+
+from __future__ import annotations
+
+import re
+
+from tools.lint import config
+
+ARCH_MD = config.REPO_ROOT / "docs" / "architecture.md"
+
+_BLOCK_RE = re.compile(r"```layers\n(?P<body>.*?)```", re.DOTALL)
+
+
+def _documented_layers():
+    match = _BLOCK_RE.search(ARCH_MD.read_text())
+    assert match, "docs/architecture.md is missing its fenced ```layers block"
+    layers = []
+    for line in match.group("body").splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        layers.append(tuple(part.strip() for part in line.split("|")))
+    return tuple(layers)
+
+
+def test_architecture_md_layer_block_matches_config() -> None:
+    """The docs' layer DAG equals the linter's, layer by layer."""
+    assert _documented_layers() == config.LAYERS
+
+
+def test_every_layer_package_resolves() -> None:
+    """Each DAG entry maps onto itself through package_of (sanity)."""
+    for group in config.LAYERS:
+        for package in group:
+            assert config.package_of(package + ".x") == package
+
+
+def test_allowed_imports_are_strictly_downward() -> None:
+    """allowed_imports() grants exactly the strictly-lower layers."""
+    allowed = config.allowed_imports()
+    for rank, group in enumerate(config.LAYERS):
+        lower = {p for g in config.LAYERS[:rank] for p in g}
+        for package in group:
+            assert allowed[package] == lower
+
+
+def test_exemptions_reference_ranked_packages() -> None:
+    """Every layering exemption names known packages and carries a reason."""
+    for (importer, imported), reason in config.LAYERING_EXEMPTIONS.items():
+        assert config.layer_rank(importer) is not None, importer
+        assert config.layer_rank(imported) is not None, imported
+        assert reason.strip(), f"exemption {importer} -> {imported} has no reason"

@@ -1,0 +1,26 @@
+"""The gate itself: the linted universe stays at zero findings.
+
+This is the test-suite twin of CI's ``python -m tools.lint src benchmarks
+tools`` step — a regression anywhere in the repo (or an engine change that
+starts flagging sanctioned sites) fails the test run too, with the exact
+``file:line:col: [rule] message`` output in the assertion.
+"""
+
+from __future__ import annotations
+
+from tools.lint import config, run_paths
+
+
+def test_repo_lints_clean() -> None:
+    """src/, benchmarks/ and tools/ produce zero findings."""
+    paths = [config.REPO_ROOT / p for p in ("src", "benchmarks", "tools")]
+    findings, file_count = run_paths(paths)
+    assert file_count > 100, "lint walked suspiciously few files"
+    assert not findings, "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_selfcheck_passes() -> None:
+    """The fixture-driven gate verification holds under pytest as well."""
+    from tools.lint.selfcheck import run_selfcheck
+
+    assert run_selfcheck() == 0

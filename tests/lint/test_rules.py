@@ -1,0 +1,49 @@
+"""Fixture-pair tests: every rule fires on its seeded violation and stays
+quiet on the clean sibling.
+
+The corpus lives in ``tools/lint/fixtures/`` and is shared with
+``python -m tools.lint --selfcheck`` (the CI gate-verification step), so the
+pytest suite and the CI selfcheck can never drift apart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.lint import all_rule_names
+from tools.lint.selfcheck import check_fixture, iter_fixture_cases
+
+CASES = list(iter_fixture_cases())
+
+
+def test_corpus_is_present() -> None:
+    """Every rule category has at least one fail fixture and one pass fixture."""
+    fails = [c for c in CASES if c[2]]
+    passes = [c for c in CASES if not c[2]]
+    assert len(fails) >= 8, "expected a fail fixture per rule category"
+    assert len(passes) >= 8, "expected a pass fixture per rule category"
+
+
+def test_every_checked_rule_has_a_fail_fixture() -> None:
+    """Each registered per-file rule is exercised by some seeded violation.
+
+    ``doc-links`` is project-wide (covered by the selfcheck's temp-dir
+    probe) and ``parse-error`` is the engine's syntax guard, so neither
+    needs a corpus fixture.
+    """
+    expected_somewhere = set()
+    for _, _, expected in CASES:
+        expected_somewhere.update(expected)
+    uncovered = set(all_rule_names()) - expected_somewhere - {"doc-links", "parse-error"}
+    assert not uncovered, f"rules without a fail fixture: {sorted(uncovered)}"
+
+
+@pytest.mark.parametrize(
+    "fixture, rel_path, expected",
+    CASES,
+    ids=[case[0].stem for case in CASES],
+)
+def test_fixture(fixture, rel_path, expected) -> None:
+    """Found rule set must equal the fixture's expected rule set exactly."""
+    errors = check_fixture(fixture, rel_path, expected)
+    assert not errors, "\n".join(errors)

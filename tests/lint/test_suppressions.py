@@ -1,0 +1,81 @@
+"""Suppression-syntax semantics: reasons are mandatory, waivers are narrow."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.lint.engine import SUPPRESSION_RULE, lint_file, parse_suppressions
+
+# A library path so the dtype rule applies; the actual file never exists —
+# every test passes source explicitly.
+REL_PATH = "src/repro/core/_suppression_test.py"
+DUMMY = Path("_suppression_test.py")
+
+VIOLATION = 'import numpy as np\nx = np.zeros(3, dtype="float64")'
+
+
+def _lint(source: str):
+    return lint_file(DUMMY, rel_path=REL_PATH, source=source)
+
+
+def test_reasoned_suppression_silences_the_finding() -> None:
+    """A disable with a reason removes the finding and adds nothing."""
+    source = VIOLATION + "  # repro-lint: disable=dtype-discipline -- test: documented exemption\n"
+    assert _lint(source) == []
+
+
+def test_reasonless_suppression_is_a_finding_and_does_not_suppress() -> None:
+    """No reason → hygiene finding AND the underlying finding survives."""
+    source = VIOLATION + "  # repro-lint: disable=dtype-discipline\n"
+    rules = sorted(f.rule for f in _lint(source))
+    assert rules == ["dtype-discipline", SUPPRESSION_RULE]
+
+
+def test_unknown_rule_suppression_is_a_finding() -> None:
+    """Disabling a rule that does not exist is flagged, not ignored."""
+    source = VIOLATION + "  # repro-lint: disable=no-such-rule -- whatever\n"
+    rules = sorted(f.rule for f in _lint(source))
+    assert rules == ["dtype-discipline", SUPPRESSION_RULE]
+
+
+def test_unused_suppression_is_a_finding() -> None:
+    """A disable on a clean line is dead policy and must be removed."""
+    source = "x = 1  # repro-lint: disable=dtype-discipline -- stale waiver\n"
+    findings = _lint(source)
+    assert [f.rule for f in findings] == [SUPPRESSION_RULE]
+    assert "unused" in findings[0].message
+
+
+def test_empty_rule_list_is_a_finding() -> None:
+    """`disable=` with nothing after it is malformed."""
+    source = "x = 1  # repro-lint: disable= -- because\n"
+    assert [f.rule for f in _lint(source)] == [SUPPRESSION_RULE]
+
+
+def test_multi_rule_suppression() -> None:
+    """One comment may waive several rules on its line, with one reason."""
+    source = (
+        "import numpy as np\n"
+        'x = np.asarray(np.random.default_rng(0).normal(3), dtype="float64")'
+        "  # repro-lint: disable=dtype-discipline,rng-discipline -- test: both on one line\n"
+    )
+    assert _lint(source) == []
+
+
+def test_suppression_only_covers_its_own_line() -> None:
+    """A waiver on line N does not leak to violations on other lines."""
+    source = (
+        "import numpy as np\n"
+        'a = np.zeros(3, dtype="float64")  # repro-lint: disable=dtype-discipline -- test: line-scoped\n'
+        'b = np.zeros(3, dtype="float64")\n'
+    )
+    findings = _lint(source)
+    assert [f.rule for f in findings] == ["dtype-discipline"]
+    assert findings[0].line == 3
+
+
+def test_hash_inside_string_is_not_a_comment() -> None:
+    """Tokenize-based parsing ignores repro-lint text inside string literals."""
+    source = 'x = "# repro-lint: disable=dtype-discipline"\n'
+    suppressions, findings = parse_suppressions(source, REL_PATH)
+    assert suppressions == [] and findings == []

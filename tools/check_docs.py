@@ -1,132 +1,52 @@
-"""Documentation gate for CI.
+"""Documentation gate for CI — thin shim over :mod:`tools.lint`.
 
-Two checks, both of which fail the build:
-
-1. **Intra-repo links** — every relative markdown link in ``README.md`` and
-   ``docs/*.md`` must point at a file (or directory) that exists in the
-   repository.  External links (``http(s)://``, ``mailto:``) and pure
-   in-page anchors (``#section``) are skipped; ``path#anchor`` links are
-   checked for the path part.
-
-2. **Public-surface docstrings** — every public function, class and public
-   method defined in the :mod:`repro.nn.kernels` and :mod:`repro.fleet`
-   packages must carry a docstring.  The kernel layer is the repo's
-   pluggable-backend surface and the fleet package is its operational
-   (service/store/faults) surface; an undocumented public hook in either
-   is an API regression.
+Historically this script carried its own link-checking and
+import/inspect-based docstring walker.  Both checks now live in the
+repo-native linter as the ``doc-links`` and ``docstring-coverage`` rules
+(:mod:`tools.lint.rules.docs`), where they share the suppression syntax,
+file walking, and fixture-backed selfcheck with every other rule.  This
+entry point survives so existing CI configuration and muscle memory
+(``python tools/check_docs.py``) keep working; it simply runs those two
+rules and reports in the old format.
 
 Usage::
 
-    PYTHONPATH=src python tools/check_docs.py
+    python tools/check_docs.py
 """
 
 from __future__ import annotations
 
-import importlib
-import inspect
-import pkgutil
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
 
-# Matches [text](target) while ignoring images' leading "!" (still a link
-# target worth checking) and skipping targets with a URL scheme.
-_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
-
-
-def iter_markdown_files():
-    """README.md plus every markdown file under docs/."""
-    yield REPO_ROOT / "README.md"
-    docs = REPO_ROOT / "docs"
-    if docs.is_dir():
-        yield from sorted(docs.glob("*.md"))
-
-
-def check_links() -> list:
-    """Return a list of broken-link error strings across the doc set."""
-    errors = []
-    for md_file in iter_markdown_files():
-        if not md_file.exists():
-            errors.append(f"{md_file.relative_to(REPO_ROOT)}: file missing")
-            continue
-        text = md_file.read_text()
-        for match in _LINK_RE.finditer(text):
-            target = match.group(1)
-            if _SCHEME_RE.match(target) or target.startswith("#"):
-                continue
-            path_part = target.split("#", 1)[0]
-            if not path_part:
-                continue
-            resolved = (md_file.parent / path_part).resolve()
-            if not resolved.exists():
-                errors.append(
-                    f"{md_file.relative_to(REPO_ROOT)}: broken link -> {target}"
-                )
-    return errors
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def check_package_docstrings(package_name: str) -> list:
-    """Return error strings for undocumented public API in ``package_name``."""
-    package = importlib.import_module(package_name)
-    prefix = package_name.split(".")
-
-    errors = []
-    modules = [package]
-    for info in pkgutil.iter_modules(package.__path__):
-        modules.append(importlib.import_module(f"{package_name}.{info.name}"))
-
-    seen = set()
-    for module in modules:
-        for name, obj in vars(module).items():
-            if not _is_public(name):
-                continue
-            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
-                continue
-            if getattr(obj, "__module__", "").split(".")[: len(prefix)] != prefix:
-                continue  # re-exported from elsewhere (e.g. numpy)
-            qualname = f"{obj.__module__}.{obj.__qualname__}"
-            if qualname in seen:
-                continue
-            seen.add(qualname)
-            if not inspect.getdoc(obj):
-                errors.append(f"missing docstring: {qualname}")
-            if inspect.isclass(obj):
-                for meth_name, meth in vars(obj).items():
-                    if not _is_public(meth_name):
-                        continue
-                    if not (inspect.isfunction(meth) or isinstance(meth, (classmethod, staticmethod))):
-                        continue
-                    func = meth.__func__ if isinstance(meth, (classmethod, staticmethod)) else meth
-                    if not inspect.getdoc(func):
-                        errors.append(f"missing docstring: {qualname}.{meth_name}")
-    return errors
-
-
-#: Packages whose public surface must stay documented.
-DOCUMENTED_PACKAGES = ("repro.nn.kernels", "repro.fleet")
+from tools.lint import config  # noqa: E402
+from tools.lint.engine import PROJECT_RULES, lint_file  # noqa: E402
 
 
 def main() -> int:
-    """Run both checks; print findings and exit non-zero on any failure."""
-    errors = check_links()
-    for package_name in DOCUMENTED_PACKAGES:
-        errors += check_package_docstrings(package_name)
-    if errors:
-        print(f"docs check FAILED ({len(errors)} problem(s)):")
-        for error in errors:
-            print(f"  - {error}")
+    """Run the doc-links and docstring-coverage rules; non-zero on findings."""
+    findings = list(PROJECT_RULES["doc-links"].check_project(config.REPO_ROOT))
+    for path in sorted(config.REPO_ROOT.rglob("*.py")):
+        rel = path.relative_to(config.REPO_ROOT).as_posix()
+        if config.is_excluded(rel):
+            continue
+        if not rel.startswith(config.DOCSTRING_PATH_PREFIXES):
+            continue
+        findings.extend(
+            f for f in lint_file(path, rel_path=rel) if f.rule == "docstring-coverage"
+        )
+    if findings:
+        print(f"docs check FAILED ({len(findings)} problem(s)):")
+        for finding in findings:
+            print(f"  - {finding.format()}")
         return 1
-    files = [str(p.relative_to(REPO_ROOT)) for p in iter_markdown_files()]
+    files = [str(p.relative_to(REPO_ROOT)) for p in config.markdown_files()]
+    surfaces = ", ".join(config.DOCSTRING_PATH_PREFIXES)
     print(f"docs check ok: links valid in {', '.join(files)}; "
-          f"public API fully documented in {', '.join(DOCUMENTED_PACKAGES)}")
+          f"public API fully documented under {surfaces}")
     return 0
 
 

@@ -1,0 +1,28 @@
+"""Repo-native invariant linter.
+
+An AST-based static-analysis pass that turns the reproduction's prose
+conventions — compute-dtype discipline, seeded-RNG determinism, the layer
+DAG, pool picklability, store confinement — into machine-checked
+invariants.  See ``docs/static_analysis.md`` for the rule catalog and the
+suppression policy.
+
+Usage::
+
+    python -m tools.lint src/ benchmarks/ tools/   # lint (exit 1 on findings)
+    python -m tools.lint --list-rules              # rule catalog
+    python -m tools.lint --selfcheck               # verify the gate catches
+                                                   # a seeded violation per rule
+
+Programmatic entry points: :func:`tools.lint.engine.run_paths`,
+:func:`tools.lint.engine.lint_file`.
+"""
+
+from tools.lint import rules as _rules  # noqa: F401  (registers the rule suite)
+from tools.lint.engine import (  # noqa: F401
+    Finding,
+    PROJECT_RULES,
+    RULES,
+    all_rule_names,
+    lint_file,
+    run_paths,
+)

@@ -1,0 +1,74 @@
+"""CLI front end: ``python -m tools.lint [paths…]``.
+
+Exit status is 0 only when every linted file is clean; findings print one
+per line as ``path:line:col: [rule] message`` so editors and CI logs can
+jump straight to the site.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.lint import PROJECT_RULES, RULES, run_paths
+from tools.lint.config import REPO_ROOT
+from tools.lint.selfcheck import run_selfcheck
+
+DEFAULT_PATHS = ("src", "benchmarks", "tools")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, run the requested mode, return the exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="Repo-native invariant linter (see docs/static_analysis.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--selfcheck", action="store_true",
+        help="verify every rule catches its seeded fixture violation "
+        "(the CI verify-the-gate step)",
+    )
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip project-wide rules (doc links) — useful when linting "
+        "a single file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted({**RULES, **PROJECT_RULES}.items()):
+            print(f"{name:22s} {rule.description}")
+        return 0
+    if args.selfcheck:
+        return run_selfcheck()
+
+    paths = [Path(p) if Path(p).is_absolute() else REPO_ROOT / p for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(str(p) for p in missing)}")
+        return 2
+    findings, num_files = run_paths(paths, with_project_rules=not args.no_project)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s) across {num_files} file(s)")
+        return 1
+    print(
+        f"repro-lint: clean — {num_files} file(s), "
+        f"{len(RULES) + len(PROJECT_RULES)} rule(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,315 @@
+"""AST-based lint engine: rule registry, per-file dispatch, suppressions.
+
+The engine is deliberately small.  A *rule* is an object with a ``name``
+and a ``check(ctx)`` method returning :class:`Finding` objects; rules
+register themselves with :func:`register` at import time (importing
+:mod:`tools.lint.rules` pulls in the whole suite).  The engine parses each
+file once, hands every applicable rule the same :class:`FileContext`
+(source, AST, parent links, derived module name) and filters the combined
+findings through the inline suppression table.
+
+Suppression syntax
+------------------
+A finding on line *N* is suppressed by a comment **on that line**::
+
+    codes = values.astype(np.float64)  # repro-lint: disable=dtype-discipline -- scale arithmetic is float64 by contract
+
+The ``--`` separated reason is mandatory: a reasonless ``disable`` is itself
+a finding (rule ``suppression-hygiene``), as is a ``disable`` naming an
+unknown rule or one that suppresses nothing.  There is no file-level or
+block-level disable — wide waivers belong in :mod:`tools.lint.config`
+allowlists where they carry a reason and are reviewed as policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from tools.lint import config
+
+#: Rule name reserved for engine-level findings about suppression comments.
+SUPPRESSION_RULE = "suppression-hygiene"
+#: Rule name reserved for files the engine cannot parse.
+PARSE_RULE = "parse-error"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\- ]*?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, addressable as ``path:line:col: [rule] message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render in the canonical ``file:line:col: [rule] message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro-lint: disable=`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.AST
+    module: Optional[str]
+    package: Optional[str]
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (None for the module node)."""
+        return self.parents.get(id(node))
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for per-file AST rules.
+
+    Subclasses set ``name``/``description`` and implement :meth:`check`;
+    :meth:`applies` lets a rule scope itself to path prefixes from
+    :mod:`tools.lint.config` without the engine knowing the policy.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx``'s file (default: every file)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """Base class for whole-repository rules (run once per invocation)."""
+
+    name: str = ""
+    description: str = ""
+
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        """Yield findings for the repository rooted at ``root``."""
+        raise NotImplementedError
+
+
+#: name → rule instance, populated by :func:`register`.
+RULES: Dict[str, Rule] = {}
+#: name → project-rule instance, populated by :func:`register`.
+PROJECT_RULES: Dict[str, ProjectRule] = {}
+
+
+def register(rule_cls):
+    """Class decorator: instantiate and register a rule under its name."""
+    instance = rule_cls()
+    if not instance.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    registry = PROJECT_RULES if isinstance(instance, ProjectRule) else RULES
+    if instance.name in registry:
+        raise ValueError(f"duplicate rule name {instance.name!r}")
+    registry[instance.name] = instance
+    return rule_cls
+
+
+def all_rule_names() -> List[str]:
+    """Every registered rule name plus the engine-reserved ones, sorted."""
+    return sorted({*RULES, *PROJECT_RULES, SUPPRESSION_RULE, PARSE_RULE})
+
+
+def parse_suppressions(source: str, rel_path: str) -> Tuple[List[Suppression], List[Finding]]:
+    """Extract ``repro-lint: disable=`` comments via the token stream.
+
+    Tokenising (rather than line-scanning) keeps ``#`` characters inside
+    string literals from being misread as comments.  Malformed comments —
+    missing reason, empty or unknown rule list — come back as
+    :data:`SUPPRESSION_RULE` findings immediately.
+    """
+    suppressions: List[Suppression] = []
+    findings: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return suppressions, findings  # the parse-error finding covers it
+    known = set(all_rule_names())
+    for token in tokens:
+        if token.type != tokenize.COMMENT or "repro-lint" not in token.string:
+            continue
+        line = token.start[0]
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            findings.append(Finding(
+                rel_path, line, token.start[1], SUPPRESSION_RULE,
+                "malformed repro-lint comment; expected "
+                "'# repro-lint: disable=<rule>[,<rule>] -- <reason>'",
+            ))
+            continue
+        rules = tuple(r.strip() for r in match.group("rules").split(",") if r.strip())
+        reason = (match.group("reason") or "").strip()
+        if not rules:
+            findings.append(Finding(
+                rel_path, line, token.start[1], SUPPRESSION_RULE,
+                "suppression lists no rules",
+            ))
+            continue
+        unknown = [r for r in rules if r not in known]
+        if unknown:
+            findings.append(Finding(
+                rel_path, line, token.start[1], SUPPRESSION_RULE,
+                f"suppression names unknown rule(s): {', '.join(unknown)}",
+            ))
+            continue
+        if not reason:
+            findings.append(Finding(
+                rel_path, line, token.start[1], SUPPRESSION_RULE,
+                f"suppression of {', '.join(rules)} carries no reason "
+                "(append ' -- <why this site is exempt>')",
+            ))
+            continue
+        suppressions.append(Suppression(line=line, rules=rules, reason=reason))
+    return suppressions, findings
+
+
+def _build_parents(tree: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def make_context(path: Path, rel_path: str, source: str) -> FileContext:
+    """Parse ``source`` and assemble the :class:`FileContext` for rules."""
+    tree = ast.parse(source, filename=rel_path)
+    module = config.module_name_for(rel_path)
+    package = config.package_of(module) if module else None
+    ctx = FileContext(
+        path=path, rel_path=rel_path, source=source, tree=tree,
+        module=module, package=package,
+    )
+    ctx.parents = _build_parents(tree)
+    return ctx
+
+
+def lint_file(
+    path: Path,
+    rel_path: Optional[str] = None,
+    rules: Optional[Mapping[str, Rule]] = None,
+    source: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one file; returns its findings after suppression filtering.
+
+    ``rel_path`` overrides the repo-relative path used for module derivation
+    and allowlist matching — the fixture corpus and its tests use this to
+    lint a fixture *as if* it lived at a library path.
+    """
+    if rel_path is None:
+        rel_path = path.resolve().relative_to(config.REPO_ROOT).as_posix()
+    if source is None:
+        source = path.read_text()
+    active = RULES if rules is None else rules
+    try:
+        ctx = make_context(path, rel_path, source)
+    except SyntaxError as error:
+        return [Finding(rel_path, error.lineno or 1, error.offset or 0,
+                        PARSE_RULE, f"cannot parse: {error.msg}")]
+    raw: List[Finding] = []
+    for rule in active.values():
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+    suppressions, findings = parse_suppressions(source, rel_path)
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+    for finding in raw:
+        suppressed = False
+        for suppression in by_line.get(finding.line, ()):
+            if finding.rule in suppression.rules:
+                suppression.used = True
+                suppressed = True
+        if not suppressed:
+            findings.append(finding)
+    for suppression in suppressions:
+        if not suppression.used:
+            findings.append(Finding(
+                rel_path, suppression.line, 0, SUPPRESSION_RULE,
+                f"unused suppression of {', '.join(suppression.rules)} "
+                "(nothing to suppress on this line — remove it)",
+            ))
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Tuple[Path, str]]:
+    """Expand files/directories into (path, repo-relative posix path) pairs.
+
+    Directories are walked recursively; excluded prefixes and directory
+    names from :mod:`tools.lint.config` are skipped.  Ordering is
+    deterministic (sorted by relative path).
+    """
+    seen: Set[str] = set()
+    result: List[Tuple[Path, str]] = []
+    for entry in paths:
+        entry = entry.resolve()
+        candidates = [entry] if entry.is_file() else sorted(entry.rglob("*.py"))
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            try:
+                rel = candidate.relative_to(config.REPO_ROOT).as_posix()
+            except ValueError:
+                rel = candidate.as_posix()
+            if config.is_excluded(rel) or rel in seen:
+                continue
+            seen.add(rel)
+            result.append((candidate, rel))
+    return sorted(result, key=lambda pair: pair[1])
+
+
+def run_paths(
+    paths: Sequence[Path], with_project_rules: bool = True
+) -> Tuple[List[Finding], int]:
+    """Lint every python file under ``paths``; returns (findings, file count).
+
+    Project-wide rules (doc links) run once per invocation unless disabled.
+    """
+    files = iter_python_files(paths)
+    findings: List[Finding] = []
+    for path, rel in files:
+        findings.extend(lint_file(path, rel_path=rel))
+    if with_project_rules:
+        for rule in PROJECT_RULES.values():
+            findings.extend(rule.check_project(config.REPO_ROOT))
+    return sorted(findings), len(files)

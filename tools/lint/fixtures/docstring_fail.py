@@ -1,0 +1,12 @@
+# lint-fixture: path=src/repro/fleet/_fixture.py
+# lint-fixture-expect: docstring-coverage
+"""Seeded violation: undocumented public API on a documented surface."""
+
+
+def work(item):
+    return item
+
+
+class Thing:
+    def method(self):
+        return 1

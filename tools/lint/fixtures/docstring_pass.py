@@ -1,0 +1,18 @@
+# lint-fixture: path=src/repro/fleet/_fixture.py
+"""Clean sibling: every public hook documents itself."""
+
+
+def work(item):
+    """Return the item unchanged."""
+    return item
+
+
+class Thing:
+    """A fully documented public class."""
+
+    def method(self):
+        """Return a constant."""
+        return 1
+
+    def _private(self):
+        return 2

@@ -1,0 +1,12 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+# lint-fixture-expect: dtype-discipline
+"""Seeded violation: hard-coded float dtypes outside repro.runtime."""
+
+import numpy as np
+
+
+def make(values):
+    """Two findings: an np attribute literal and a string dtype."""
+    widened = np.asarray(values, dtype=np.float64)
+    narrowed = values.astype("float32")
+    return widened, narrowed

@@ -1,0 +1,12 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+"""Clean sibling: dtype flows through the runtime front door."""
+
+import numpy as np
+
+from repro import runtime
+
+
+def make(values):
+    """Selecting float64 via use_dtype is the sanctioned route."""
+    with runtime.use_dtype(np.float64):
+        return runtime.asarray(values)

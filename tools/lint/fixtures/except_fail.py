@@ -1,0 +1,19 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+# lint-fixture-expect: silent-except
+"""Seeded violations: a bare except and a swallowed exception."""
+
+
+def guarded(fn):
+    """Finding: bare except catches SystemExit/KeyboardInterrupt too."""
+    try:
+        return fn()
+    except:
+        return None
+
+
+def swallow(fn):
+    """Finding: the handler discards the exception without a trace."""
+    try:
+        return fn()
+    except ValueError:
+        pass

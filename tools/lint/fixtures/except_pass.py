@@ -1,0 +1,19 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+"""Clean sibling: typed handlers that record and act."""
+
+import contextlib
+
+
+def guarded(fn, errors):
+    """Recording and returning a sentinel is handling, not swallowing."""
+    try:
+        return fn()
+    except ValueError as error:
+        errors.append(str(error))
+        return None
+
+
+def best_effort_close(conn):
+    """contextlib.suppress states the discard intent explicitly."""
+    with contextlib.suppress(OSError):
+        conn.close()

@@ -1,0 +1,11 @@
+# lint-fixture: path=src/repro/nn/_fixture.py
+# lint-fixture-expect: import-layering
+"""Seeded violation: the substrate layer reaching up into fleet/eval."""
+
+from repro.fleet import service
+import repro.eval.parallel
+
+
+def misuse():
+    """Keep the imports referenced so the fixture stays plausible code."""
+    return service, repro.eval.parallel

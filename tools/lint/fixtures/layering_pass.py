@@ -1,0 +1,10 @@
+# lint-fixture: path=src/repro/nn/_fixture.py
+"""Clean sibling: repro.nn importing strictly downward."""
+
+from repro import runtime
+from repro.nn import kernels
+
+
+def use():
+    """runtime and nn.kernels are both below repro.nn in the DAG."""
+    return runtime.get_dtype(), kernels

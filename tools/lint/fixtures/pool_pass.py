@@ -1,0 +1,12 @@
+# lint-fixture: path=src/repro/eval/_fixture.py
+"""Clean sibling: a module-level worker function pickles by reference."""
+
+
+def work(payload, item):
+    """Module-level, so workers can unpickle it by qualified name."""
+    return item
+
+
+def run(pool, items):
+    """Submission passes the module-level callable."""
+    return pool.map(work, items)

@@ -1,0 +1,13 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+# lint-fixture-expect: rng-discipline
+"""Seeded violations: global RNG state, hidden seed, OS entropy."""
+
+import numpy as np
+
+
+def sample(n):
+    """Four findings across the three rng-discipline families."""
+    np.random.seed(0)
+    hidden = np.random.default_rng(0)
+    entropy = np.random.default_rng()
+    return hidden, entropy, np.random.rand(n)

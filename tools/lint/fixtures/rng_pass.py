@@ -1,0 +1,13 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+"""Clean sibling: explicit Generator with a documented named fallback seed."""
+
+import numpy as np
+
+#: Documented fallback seed (the pattern the rule's message recommends).
+DEFAULT_SEED = 0
+
+
+def sample(size, rng=None):
+    """A named-constant seed is visible at the call site, so it passes."""
+    rng = rng if rng is not None else np.random.default_rng(DEFAULT_SEED)
+    return rng.normal(size=size)

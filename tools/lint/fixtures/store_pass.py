@@ -1,0 +1,9 @@
+# lint-fixture: path=src/repro/fleet/_fixture.py
+"""Clean sibling: SQLite access through the store tier."""
+
+from repro.fleet.store import DeviceStateStore
+
+
+def open_db(path):
+    """DeviceStateStore owns the connection and its pragmas."""
+    return DeviceStateStore(path)

@@ -1,0 +1,7 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+# lint-fixture-expect: suppression-hygiene, dtype-discipline
+"""Seeded violation: a reasonless disable — which also fails to suppress."""
+
+import numpy as np
+
+SCALES = np.ones(4, dtype=np.float64)  # repro-lint: disable=dtype-discipline

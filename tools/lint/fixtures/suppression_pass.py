@@ -1,0 +1,6 @@
+# lint-fixture: path=src/repro/core/_fixture.py
+"""Clean sibling: a reasoned suppression at a documented float64 site."""
+
+import numpy as np
+
+SCALES = np.ones(4, dtype=np.float64)  # repro-lint: disable=dtype-discipline -- fixture: scale arithmetic is float64 by the bit-identity contract

@@ -1,0 +1,16 @@
+"""The repo-native rule suite.
+
+Importing this package registers every rule with the engine registry.  One
+module per rule family; see ``docs/static_analysis.md`` for the catalog and
+the how-to-add-a-rule checklist.
+"""
+
+from tools.lint.rules import (  # noqa: F401  (imported for registration side effect)
+    docs,
+    dtype,
+    excepts,
+    layering,
+    pool,
+    rng,
+    store,
+)

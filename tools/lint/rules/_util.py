@@ -1,0 +1,37 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an ``Attribute``/``Name`` chain as ``a.b.c``; None otherwise.
+
+    Used to match call targets like ``np.random.shuffle`` or
+    ``sqlite3.connect`` without caring how deeply they are nested.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def last_component(node: ast.AST) -> Optional[str]:
+    """The final attribute/name of a call target (``a.b.c`` → ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_numeric_literal(node: ast.AST) -> bool:
+    """Whether ``node`` is a bare int/float constant (a *hidden* seed)."""
+    return isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+        and not isinstance(node.value, bool)

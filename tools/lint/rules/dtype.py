@@ -1,0 +1,101 @@
+"""dtype-discipline: no hard-coded float compute dtypes outside the runtime.
+
+PR 1 moved every dense computation onto the process-global compute dtype
+(:mod:`repro.runtime`): float32 by default, float64 opt-in, with the whole
+fast-path test pyramid pinned at float64.  One stray ``np.float64`` literal
+re-introduces a dtype island that silently widens (or narrows) arrays mid
+pipeline — exactly the class of bug the runtime knob exists to make
+impossible.
+
+Flagged:
+
+* attribute literals ``np.float64`` / ``np.float32`` / ``np.float16``
+  (also via ``numpy.``), except when passed directly to a dtype-selection
+  sink (``runtime.use_dtype`` / ``set_dtype`` / ``resolve_dtype`` /
+  ``np.dtype``) — selecting the compute dtype through the front door is the
+  sanctioned use;
+* ``dtype="float64"``-style string keywords, and ``.astype("float64")``.
+
+Allowed: files in :data:`tools.lint.config.DTYPE_ALLOWLIST_FILES` (each
+entry carries its reason) and individually suppressed sites — the
+quantizer's float64 scale arithmetic, which is *part of the bit-identity
+contract* and documented as such where it happens.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.lint import config
+from tools.lint.engine import FileContext, Finding, Rule, register
+from tools.lint.rules._util import last_component
+
+_NUMPY_BASES = {"np", "numpy"}
+
+
+def _sink_call(ctx: FileContext, node: ast.AST) -> bool:
+    """Whether ``node`` is a direct argument of a dtype-selection call."""
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.keyword):
+        parent = ctx.parent(parent)
+    if not isinstance(parent, ast.Call):
+        return False
+    return last_component(parent.func) in config.DTYPE_SINK_CALLEES
+
+
+@register
+class DtypeDiscipline(Rule):
+    """Hard-coded float dtype literals outside ``repro.runtime``."""
+
+    name = "dtype-discipline"
+    description = (
+        "float dtype literals belong to repro.runtime (or a documented "
+        "allowlist/suppression site); use runtime.get_dtype()/asarray()"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Skip the runtime module and the configured allowlist files."""
+        return ctx.rel_path not in config.DTYPE_ALLOWLIST_FILES
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag float dtype attribute and string literals."""
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if (
+                    node.attr in config.DTYPE_LITERAL_NAMES
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in _NUMPY_BASES
+                    and not _sink_call(ctx, node)
+                ):
+                    findings.append(ctx.finding(
+                        node, self.name,
+                        f"hard-coded np.{node.attr}; route through "
+                        "repro.runtime (get_dtype/asarray/zeros) or suppress "
+                        "with the documented reason",
+                    ))
+            elif isinstance(node, ast.keyword):
+                if (
+                    node.arg == "dtype"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value in config.DTYPE_LITERAL_NAMES
+                ):
+                    findings.append(ctx.finding(
+                        node.value, self.name,
+                        f'hard-coded dtype="{node.value.value}"; route through '
+                        "repro.runtime",
+                    ))
+            elif isinstance(node, ast.Call):
+                if (
+                    last_component(node.func) == "astype"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value in config.DTYPE_LITERAL_NAMES
+                ):
+                    findings.append(ctx.finding(
+                        node, self.name,
+                        f'.astype("{node.args[0].value}") hard-codes the compute '
+                        "dtype; use runtime.get_dtype()",
+                    ))
+        return findings

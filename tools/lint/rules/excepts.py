@@ -1,0 +1,63 @@
+"""silent-except: no bare excepts, no swallowed exceptions.
+
+A calibration round that fails must fail *loudly* — the fleet service's
+whole retry/quarantine machinery exists because errors are recorded, acted
+on and persisted, never discarded.  Two shapes are flagged everywhere:
+
+* ``except:`` with no exception type — it catches ``SystemExit`` and
+  ``KeyboardInterrupt`` too, turning Ctrl-C and worker shutdown into
+  undefined states;
+* any handler whose body is only ``pass``/``...`` — the exception vanishes
+  without a trace.  Handle it, log it, re-raise it, or use
+  ``contextlib.suppress`` to make the intent explicit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.lint.engine import FileContext, Finding, Rule, register
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler body does nothing but ``pass``/``...``."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant) \
+                and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register
+class SilentExcept(Rule):
+    """Bare excepts and exception-swallowing handlers."""
+
+    name = "silent-except"
+    description = (
+        "no bare 'except:' and no handlers that silently swallow — record, "
+        "re-raise or use contextlib.suppress"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag bare and pass-only exception handlers."""
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(ctx.finding(
+                    node, self.name,
+                    "bare 'except:' also catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                ))
+            elif _swallows(node):
+                findings.append(ctx.finding(
+                    node, self.name,
+                    "exception handler silently swallows; handle, record or "
+                    "re-raise (contextlib.suppress if discarding is the point)",
+                ))
+        return findings

@@ -1,0 +1,134 @@
+"""rng-discipline: seeded, explicit randomness everywhere.
+
+The reproduction's determinism story (PR 2/3: parallel == serial, fleet ==
+per-device, golden-pinned at float64) holds because every stochastic
+component draws from an explicitly passed ``numpy.random.Generator`` rooted
+in a ``SeedSequence``.  This rule polices the three ways that story erodes:
+
+* **global-state randomness** — ``np.random.<fn>`` legacy calls
+  (``seed``/``shuffle``/``randint``/…) share one hidden process-wide stream;
+  two call sites silently couple, and worker processes diverge from serial
+  runs.  Flagged everywhere, including benchmarks and tools.
+* **hidden seeds** — ``np.random.default_rng(0)`` buried in library code
+  looks deterministic but is invisible at the call site; callers cannot tell
+  two components share a stream.  Use a documented module-level constant
+  (e.g. ``repro.utils.seeding.DEFAULT_SEED``) or require the caller to pass
+  an rng.  ``default_rng()`` with *no* seed is worse — OS entropy — and is
+  flagged too.  Library code (``src/``) only; benchmarks and tools are
+  deliberate fixed-seed experiment drivers.
+* **wall-clock / stdlib entropy** — ``random.*``, ``time.time()``,
+  ``datetime.now()`` in library code make behaviour a function of when (or
+  where) it ran.  ``time.perf_counter`` is fine: timing *measurement* is not
+  a numerics input.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.lint import config
+from tools.lint.engine import FileContext, Finding, Rule, register
+from tools.lint.rules._util import dotted_name, is_numeric_literal
+
+_CLOCK_CALLS = {"time.time"}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+def _is_library(ctx: FileContext) -> bool:
+    return ctx.rel_path.startswith(config.LIBRARY_PATH_PREFIXES)
+
+
+@register
+class RngDiscipline(Rule):
+    """Global-state RNG, hidden literal seeds and wall-clock reads."""
+
+    name = "rng-discipline"
+    description = (
+        "no np.random global-state calls anywhere; no hidden literal seeds, "
+        "OS-entropy generators, random.*, time.time() or datetime.now() in "
+        "library code"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag the three families of determinism hazards."""
+        findings: List[Finding] = []
+        library = _is_library(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if library and self._imports_stdlib_random(node):
+                    findings.append(ctx.finding(
+                        node, self.name,
+                        "stdlib random in library code is a determinism "
+                        "hazard; accept a numpy Generator instead",
+                    ))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func)
+            if target is None:
+                continue
+            base, _, fn = target.rpartition(".")
+            if base in ("np.random", "numpy.random"):
+                if fn in config.NP_RANDOM_LEGACY:
+                    findings.append(ctx.finding(
+                        node, self.name,
+                        f"{target}() uses numpy's global RNG state; pass an "
+                        "explicit numpy.random.Generator",
+                    ))
+                elif fn == "default_rng" and library:
+                    if not node.args and not node.keywords:
+                        findings.append(ctx.finding(
+                            node, self.name,
+                            "default_rng() with no seed draws OS entropy; "
+                            "library code must take a seed or Generator",
+                        ))
+                    elif node.args and is_numeric_literal(node.args[0]):
+                        findings.append(ctx.finding(
+                            node, self.name,
+                            f"hidden literal seed default_rng({node.args[0].value!r}) "
+                            "in library code; use a documented named constant "
+                            "(e.g. repro.utils.seeding.DEFAULT_SEED) or require "
+                            "callers to pass an rng",
+                        ))
+                elif fn == "Generator" and library and self._has_literal_seed(node):
+                    findings.append(ctx.finding(
+                        node, self.name,
+                        "Generator constructed with a literal seed in library "
+                        "code; use a documented named constant",
+                    ))
+            elif library and target in _CLOCK_CALLS:
+                findings.append(ctx.finding(
+                    node, self.name,
+                    "time.time() in library code ties behaviour to the wall "
+                    "clock; use time.perf_counter for durations or pass "
+                    "timestamps in",
+                ))
+            elif library and fn in _DATETIME_ATTRS and (
+                base.endswith("datetime") or base.endswith("date")
+            ):
+                findings.append(ctx.finding(
+                    node, self.name,
+                    f"{target}() reads the wall clock in library code; pass "
+                    "timestamps in (or suppress with a reason at pure "
+                    "audit-metadata sites)",
+                ))
+        return findings
+
+    @staticmethod
+    def _imports_stdlib_random(node: ast.AST) -> bool:
+        """Whether an import statement pulls in the stdlib ``random`` module."""
+        if isinstance(node, ast.Import):
+            return any(alias.name == "random" for alias in node.names)
+        if isinstance(node, ast.ImportFrom):
+            return node.level == 0 and node.module == "random"
+        return False
+
+    @staticmethod
+    def _has_literal_seed(node: ast.Call) -> bool:
+        """Whether any (possibly nested) argument is a bare numeric literal."""
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if is_numeric_literal(sub):
+                    return True
+        return False

@@ -1,0 +1,105 @@
+"""Verify-the-gate: prove each rule catches its seeded violation.
+
+A lint gate that silently stopped finding anything is worse than no gate,
+so CI runs ``python -m tools.lint --selfcheck`` next to the real lint pass.
+The selfcheck lints the fixture corpus in ``tools/lint/fixtures/`` — one
+``*_fail.py`` file seeded with a violation per rule category, and one
+``*_pass.py`` sibling that must come back clean — and exits non-zero if any
+rule misses its seeded violation, fires on its clean sibling, or fires
+off-category.
+
+Each fixture declares, in header comments, the repo-relative path it should
+be linted *as* (so library-scoped rules see a library path) and the exact
+rule set it expects::
+
+    # lint-fixture: path=src/repro/core/_fixture.py
+    # lint-fixture-expect: rng-discipline
+
+No ``lint-fixture-expect`` line means the fixture must produce zero
+findings.  The pytest suite (``tests/lint/``) runs the same corpus through
+:func:`iter_fixture_cases`, so the gate is verified both in the lint job
+and in the test job.
+"""
+
+from __future__ import annotations
+
+import re
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Set, Tuple
+
+from tools.lint.engine import lint_file
+from tools.lint.rules.docs import DocLinks
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+
+_PATH_RE = re.compile(r"^#\s*lint-fixture:\s*path=(?P<path>\S+)\s*$", re.MULTILINE)
+_EXPECT_RE = re.compile(r"^#\s*lint-fixture-expect:\s*(?P<rules>.+?)\s*$", re.MULTILINE)
+
+
+def iter_fixture_cases() -> Iterator[Tuple[Path, str, Set[str]]]:
+    """Yield ``(fixture, pretend_rel_path, expected_rule_set)`` triples."""
+    for fixture in sorted(FIXTURES_DIR.glob("*.py")):
+        source = fixture.read_text()
+        path_match = _PATH_RE.search(source)
+        if path_match is None:
+            raise ValueError(f"{fixture.name}: missing '# lint-fixture: path=…' header")
+        expect_match = _EXPECT_RE.search(source)
+        expected: Set[str] = set()
+        if expect_match is not None:
+            expected = {r.strip() for r in expect_match.group("rules").split(",") if r.strip()}
+        yield fixture, path_match.group("path"), expected
+
+
+def check_fixture(fixture: Path, rel_path: str, expected: Set[str]) -> List[str]:
+    """Lint one fixture; return human-readable mismatch descriptions."""
+    findings = lint_file(fixture, rel_path=rel_path)
+    found = {finding.rule for finding in findings}
+    problems: List[str] = []
+    for rule in sorted(expected - found):
+        problems.append(
+            f"{fixture.name}: rule {rule!r} MISSED its seeded violation — the gate is broken"
+        )
+    for rule in sorted(found - expected):
+        culprits = "; ".join(f.format() for f in findings if f.rule == rule)
+        problems.append(
+            f"{fixture.name}: unexpected {rule!r} finding(s): {culprits}"
+        )
+    return problems
+
+
+def check_doc_links_gate() -> List[str]:
+    """Prove the doc-links rule still detects a broken relative link."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        bad = root / "BROKEN.md"
+        bad.write_text("see [missing](does/not/exist.md) for details\n")
+        findings = DocLinks().check_files([bad], root)
+    if not findings:
+        return ["doc-links: MISSED a seeded broken link — the gate is broken"]
+    return []
+
+
+def run_selfcheck() -> int:
+    """Run the full selfcheck; print a verdict and return the exit status."""
+    problems: List[str] = []
+    cases = 0
+    for fixture, rel_path, expected in iter_fixture_cases():
+        cases += 1
+        problems.extend(check_fixture(fixture, rel_path, expected))
+    problems.extend(check_doc_links_gate())
+    if problems:
+        print(f"repro-lint selfcheck FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"repro-lint selfcheck ok: {cases} fixture(s) + doc-links probe — "
+        "every rule catches its seeded violation and stays quiet on the "
+        "clean sibling"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_selfcheck())
