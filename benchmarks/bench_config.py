@@ -8,9 +8,7 @@ machinery.
 from __future__ import annotations
 
 import functools
-import json
 import pathlib
-import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -26,6 +24,7 @@ from repro.eval import QCoreMethod
 from repro.models import build_model
 from repro.nn.module import Module
 from repro.nn.training import train_classifier
+from repro.results import ResultsStore, ResultsWriter, load_json_report
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -73,37 +72,36 @@ def save_result(name: str, text: str) -> None:
 def load_bench_report(path: pathlib.Path) -> dict:
     """Load a BENCH report for merging, surviving corruption gracefully.
 
-    Benchmarks *merge* into the shared ``BENCH_perf.json`` rather than
-    overwrite it, which means a corrupted or truncated file (killed bench
-    run, merge-conflict markers, disk hiccup) used to crash every subsequent
-    bench.  Instead: back the bad file up alongside the original (as
-    ``<name>.corrupt``), warn, and start from an empty report — the backup
-    preserves the evidence, the bench run still completes.
+    Thin compatibility wrapper over :func:`repro.results.load_json_report`,
+    which owns the recovery semantics: a corrupted or truncated file (killed
+    bench run, merge-conflict markers, disk hiccup) is backed up alongside
+    the original as ``<name>.corrupt`` with a warning, and the load returns
+    an empty report — the backup preserves the evidence, the bench run still
+    completes.
     """
-    if not path.exists():
-        return {}
-    text = path.read_text()
-    try:
-        report = json.loads(text)
-    except json.JSONDecodeError as error:
-        backup = path.with_suffix(path.suffix + ".corrupt")
-        backup.write_text(text)
-        warnings.warn(
-            f"{path} is not valid JSON ({error}); backed it up to {backup} "
-            "and starting a fresh report",
-            stacklevel=2,
-        )
-        return {}
-    if not isinstance(report, dict):
-        backup = path.with_suffix(path.suffix + ".corrupt")
-        backup.write_text(text)
-        warnings.warn(
-            f"{path} holds a JSON {type(report).__name__}, not an object; "
-            f"backed it up to {backup} and starting a fresh report",
-            stacklevel=2,
-        )
-        return {}
-    return report
+    return load_json_report(path)
+
+
+def make_results_writer(json_path: pathlib.Path) -> ResultsWriter:
+    """The one front door benchmarks write results through.
+
+    Returns a :class:`repro.results.ResultsWriter` recording into the
+    experiment store next to ``json_path`` (so smoke runs pointed at ``/tmp``
+    get a throwaway store) while keeping the JSON export merged exactly like
+    the old hand-rolled load/update/rewrite dance.
+    """
+    return ResultsWriter(json_path)
+
+
+def table_store() -> ResultsStore:
+    """Experiment store for the paper-table regenerations.
+
+    Lives under ``benchmarks/results/`` next to the rendered ``.txt`` tables;
+    every regeneration appends ``method``-kind runs, so past table cells stay
+    queryable (``run_metrics_view``) after the text files are overwritten.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return ResultsStore(RESULTS_DIR / "tables.sqlite")
 
 
 def train_backbone(

@@ -250,16 +250,17 @@ def main() -> None:
 
     config = dict(SMOKE_CONFIG if args.smoke else FULL_CONFIG)
     entry = run_benchmark(config)
-    entry["mode"] = "smoke" if args.smoke else "full"
+    mode = "smoke" if args.smoke else "full"
+    entry["mode"] = mode
+    name = "fleet_service_smoke" if args.smoke else "fleet_service"
 
-    from bench_config import load_bench_report
+    from bench_config import make_results_writer
 
-    report = load_bench_report(args.out)
-    report["fleet_service_smoke" if args.smoke else "fleet_service"] = entry
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    with make_results_writer(args.out) as writer:
+        writer.record_entry(name, entry, mode=mode)
 
     print(json.dumps(entry, indent=2))
-    print(f"[updated {args.out}]")
+    print(f"[updated {args.out} + {writer.store_path}]")
 
 
 if __name__ == "__main__":

@@ -43,10 +43,10 @@ from repro.eval import (
     QCoreMethod,
     build_specs,
     resolve_workers,
-    results_to_table,
 )
 from repro.models import build_model
 from repro.nn.training import train_classifier
+from repro.results import method_table, record_method_results
 
 FULL_CONFIG = dict(
     num_classes=6, num_domains=5, channels=6, length=28,
@@ -99,7 +99,7 @@ def _identity(result) -> tuple:
             tuple(result.batch_accuracies), result.memory_bytes)
 
 
-def run_benchmark(config: dict, workers: int, mp_context: str) -> dict:
+def run_benchmark(config: dict, workers: int, mp_context: str) -> tuple:
     data, model, specs = _build_sweep(config)
     num_batches = config["num_batches"]
 
@@ -120,13 +120,7 @@ def run_benchmark(config: dict, workers: int, mp_context: str) -> dict:
             "the parallel runner must be bit-identical"
         )
 
-    table = results_to_table(
-        serial, title=f"Sharded sweep ({len(specs)} streams)",
-        column=lambda r: r.target,
-    )
-    print(table.render())
-
-    return {
+    entry = {
         "config": {k: (list(v) if isinstance(v, tuple) else v) for k, v in config.items()},
         "num_specs": len(specs),
         "workers": workers,
@@ -137,6 +131,7 @@ def run_benchmark(config: dict, workers: int, mp_context: str) -> dict:
         "speedup": round(serial_seconds / parallel_seconds, 3),
         "results_identical": identical,
     }
+    return entry, serial
 
 
 def main() -> None:
@@ -152,17 +147,29 @@ def main() -> None:
     config = SMOKE_CONFIG if args.smoke else FULL_CONFIG
     workers = resolve_workers(args.workers, default=2 if args.smoke else 4)
 
-    entry = run_benchmark(config, workers=workers, mp_context=args.mp_context)
-    entry["mode"] = "smoke" if args.smoke else "full"
+    entry, serial = run_benchmark(config, workers=workers, mp_context=args.mp_context)
+    mode = "smoke" if args.smoke else "full"
+    entry["mode"] = mode
+    name = "parallel_eval_smoke" if args.smoke else "parallel_eval"
 
-    from bench_config import load_bench_report
+    from bench_config import make_results_writer
 
-    report = load_bench_report(args.out)
-    report["parallel_eval_smoke" if args.smoke else "parallel_eval"] = entry
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    with make_results_writer(args.out) as writer:
+        # Per-method sweep results become queryable `method`-kind rows; the
+        # rendered table is the SQL aggregation of exactly this generation.
+        timestamp, _ = record_method_results(
+            writer.store, name, serial,
+            host=writer.host, git_sha=writer.git_sha, mode=mode,
+        )
+        table = method_table(
+            writer.store, name, column_key="target", timestamp=timestamp,
+            title=f"Sharded sweep ({len(serial)} streams)",
+        )
+        print(table.render())
+        writer.record_entry(name, entry, mode=mode)
 
     print(json.dumps(entry, indent=2))
-    print(f"[updated {args.out}]")
+    print(f"[updated {args.out} + {writer.store_path}]")
 
 
 if __name__ == "__main__":

@@ -41,7 +41,6 @@ from __future__ import annotations
 
 import argparse
 import copy
-import json
 import sys
 import time
 from pathlib import Path
@@ -410,12 +409,12 @@ def main(argv=None) -> int:
     conv_equivalence = _check_conv_kernel_equivalence(config)
     print(f"  {conv_equivalence}")
 
-    # Preserve entries written by the other benchmarks; a corrupted file is
-    # backed up and replaced instead of crashing the run.
-    from bench_config import load_bench_report
+    # One front door: store rows + the thin JSON export.  Entries written by
+    # the other benchmarks are preserved; a corrupted file is backed up and
+    # replaced instead of crashing the run.
+    from bench_config import make_results_writer
 
-    report = load_bench_report(args.out)
-    report.update({
+    update = {
         "mode": "smoke" if args.smoke else "full",
         "config": config,
         "edge_calibration": {
@@ -458,12 +457,13 @@ def main(argv=None) -> int:
             "target_speedup": 1.5,
             "equivalence": conv_equivalence,
         },
-    })
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nedge speedup: {report['edge_calibration']['speedup']}x, "
-          f"qat dtype speedup: {report['qat']['speedup']}x, "
-          f"qat fused-engine speedup: {report['qat_fused']['speedup']}x, "
-          f"conv-kernel speedup: {report['conv_kernels']['speedup']}x")
+    }
+    with make_results_writer(args.out) as writer:
+        writer.record_report(update)
+    print(f"\nedge speedup: {update['edge_calibration']['speedup']}x, "
+          f"qat dtype speedup: {update['qat']['speedup']}x, "
+          f"qat fused-engine speedup: {update['qat_fused']['speedup']}x, "
+          f"conv-kernel speedup: {update['conv_kernels']['speedup']}x")
     print(f"[saved to {args.out}]")
 
     if not equivalence["flip_decisions_identical"]:
@@ -481,15 +481,15 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    if not args.smoke and report["qat_fused"]["speedup"] < 1.5:
+    if not args.smoke and update["qat_fused"]["speedup"] < 1.5:
         print(
-            f"WARNING: fused QAT speedup {report['qat_fused']['speedup']}x below the "
+            f"WARNING: fused QAT speedup {update['qat_fused']['speedup']}x below the "
             "1.5x target on this host (bit-identity still holds)",
             file=sys.stderr,
         )
-    if not args.smoke and report["conv_kernels"]["speedup"] < 1.5:
+    if not args.smoke and update["conv_kernels"]["speedup"] < 1.5:
         print(
-            f"WARNING: conv-kernel speedup {report['conv_kernels']['speedup']}x below "
+            f"WARNING: conv-kernel speedup {update['conv_kernels']['speedup']}x below "
             "the 1.5x target on this host (bit-identity still holds)",
             file=sys.stderr,
         )

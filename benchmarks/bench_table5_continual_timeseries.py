@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.eval import ParallelEvaluator, build_specs, results_to_table
-from bench_config import BENCH_SETTINGS, method_factories, save_result
+from repro.eval import ParallelEvaluator, build_specs
+from repro.results import method_table, record_method_results
+from bench_config import BENCH_SETTINGS, method_factories, save_result, table_store
 
 
 def _run(dataset, model_name, backbones, dataset_name):
@@ -28,13 +29,21 @@ def _run(dataset, model_name, backbones, dataset_name):
         method_factories(), pairs, settings["bits"], seed=settings["seed"]
     )
     results = evaluator.run(specs, dataset, model)
-    return results_to_table(
-        results,
-        title=(
-            f"Table 5 ({dataset_name}, {model_name}) — average accuracy in the continual "
-            f"setting, QCore/buffer size {settings['qcore_size']}"
-        ),
-    )
+    # Method runs land as queryable store rows; the rendered table is the SQL
+    # aggregation of exactly this regeneration.
+    with table_store() as store:
+        benchmark_key = f"table5/{dataset_name}/{model_name}"
+        timestamp, _ = record_method_results(
+            store, benchmark_key, results,
+            extra_config={"dataset": dataset_name, "model": model_name},
+        )
+        return method_table(
+            store, benchmark_key, timestamp=timestamp,
+            title=(
+                f"Table 5 ({dataset_name}, {model_name}) — average accuracy in the continual "
+                f"setting, QCore/buffer size {settings['qcore_size']}"
+            ),
+        )
 
 
 def test_table5_dsa_inceptiontime(benchmark, dsa_data, trained_backbones):

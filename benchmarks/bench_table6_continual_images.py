@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.eval import ParallelEvaluator, build_specs, results_to_table
-from bench_config import BENCH_SETTINGS, method_factories, save_result
+from repro.eval import ParallelEvaluator, build_specs
+from repro.results import method_table, record_method_results
+from bench_config import BENCH_SETTINGS, method_factories, save_result, table_store
 
 
 def _run(caltech_data, backbones, model_name):
@@ -29,13 +30,19 @@ def _run(caltech_data, backbones, model_name):
         seed=settings["seed"],
     )
     results = evaluator.run(specs, caltech_data, model)
-    return results_to_table(
-        results,
-        title=(
-            f"Table 6 (Caltech10 surrogate, {model_name}) — average accuracy in the "
-            f"continual setting, QCore/buffer size {settings['qcore_size']}"
-        ),
-    )
+    with table_store() as store:
+        benchmark_key = f"table6/Caltech10/{model_name}"
+        timestamp, _ = record_method_results(
+            store, benchmark_key, results,
+            extra_config={"dataset": "Caltech10", "model": model_name},
+        )
+        return method_table(
+            store, benchmark_key, timestamp=timestamp,
+            title=(
+                f"Table 6 (Caltech10 surrogate, {model_name}) — average accuracy in the "
+                f"continual setting, QCore/buffer size {settings['qcore_size']}"
+            ),
+        )
 
 
 def test_table6_caltech_resnet(benchmark, caltech_data, trained_backbones):

@@ -16,8 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.eval import ParallelEvaluator, ResultsTable, build_specs
-from bench_config import BENCH_SETTINGS, method_factories, save_result, train_backbone
+from repro.eval import ParallelEvaluator, build_specs
+from repro.results import method_table, record_method_results
+from bench_config import (
+    BENCH_SETTINGS,
+    method_factories,
+    save_result,
+    table_store,
+    train_backbone,
+)
 
 MODEL_FOR_DATASET = {"DSA": "InceptionTime", "USC": "InceptionTime", "Caltech10": "ResNet18"}
 
@@ -29,17 +36,29 @@ def _run(datasets):
     # a scaled-down epoch count.
     factories = method_factories(baseline_overrides={"adapt_epochs": 10})
     evaluator = ParallelEvaluator(num_batches=settings["num_batches"])
-    table = ResultsTable(
-        title="Table 9 — average end-to-end running time per calibration (seconds), 4-bit"
-    )
-    accuracy_note = ResultsTable(title="(companion) average accuracy of the same runs")
-    for dataset_name, data in datasets.items():
-        source, target = data.domain_names[0], data.domain_names[1]
-        model = train_backbone(data, MODEL_FOR_DATASET[dataset_name], source)
-        specs = build_specs(factories, [(source, target)], (4,), seed=settings["seed"])
-        for result in evaluator.run(specs, data, model):
-            table.add(result.method, dataset_name, result.average_adapt_seconds)
-            accuracy_note.add(result.method, dataset_name, result.average_accuracy)
+    with table_store() as store:
+        # One shared timestamp marks the whole regeneration; per-dataset runs
+        # differ in their `dataset` config row, which becomes the column key.
+        timestamp = None
+        for dataset_name, data in datasets.items():
+            source, target = data.domain_names[0], data.domain_names[1]
+            model = train_backbone(data, MODEL_FOR_DATASET[dataset_name], source)
+            specs = build_specs(factories, [(source, target)], (4,), seed=settings["seed"])
+            results = evaluator.run(specs, data, model)
+            timestamp, _ = record_method_results(
+                store, "table9", results, timestamp=timestamp,
+                extra_config={"dataset": dataset_name, "model": MODEL_FOR_DATASET[dataset_name]},
+            )
+        table = method_table(
+            store, "table9", metric="average_adapt_seconds",
+            column_key="dataset", timestamp=timestamp,
+            title="Table 9 — average end-to-end running time per calibration (seconds), 4-bit",
+        )
+        accuracy_note = method_table(
+            store, "table9", metric="average_accuracy",
+            column_key="dataset", timestamp=timestamp,
+            title="(companion) average accuracy of the same runs",
+        )
     return table, accuracy_note
 
 

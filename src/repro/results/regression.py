@@ -1,0 +1,118 @@
+"""Trend-aware regression detection: one query over the experiment store.
+
+The gate the ROADMAP asked for: *latest speedup < trailing median of the
+last N rows fails CI*.  A single slow-but-plausible number can slip past a
+reviewer comparing against one previous value; it cannot slip past a
+median of the recorded trajectory.  The trailing median (rather than the
+previous value alone) keeps one historic outlier — in either direction —
+from whipsawing the gate.
+
+``python -m tools.perf_report check-regression`` runs this against the
+committed store in CI; ``selfcheck`` proves the gate bites by asserting it
+fails on an injected slowdown and passes on a healthy trajectory.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.results.store import ResultsStore, RunRecord
+
+__all__ = ["RegressionVerdict", "check_regression"]
+
+
+@dataclass
+class RegressionVerdict:
+    """Outcome of one benchmark's regression check.
+
+    ``ok`` is the gate decision; the remaining fields are the evidence:
+    the metric's recorded trajectory, the latest value, the trailing
+    median it was compared against, and the effective threshold.
+    """
+
+    benchmark: str
+    metric: str
+    ok: bool
+    reason: str
+    latest: Optional[float]
+    trailing_median: Optional[float]
+    threshold: Optional[float]
+    window: int
+    tolerance: float
+    values: List[float]
+
+    def describe(self) -> str:
+        """One human-readable line for CI logs."""
+        status = "ok" if self.ok else "REGRESSION"
+        return f"{self.benchmark}.{self.metric}: {status} — {self.reason}"
+
+
+def check_regression(
+    store: ResultsStore,
+    benchmark: str,
+    metric: str = "speedup",
+    *,
+    window: int = 5,
+    tolerance: float = 0.9,
+    mode: Optional[str] = "full",
+    kind: Optional[str] = "entry",
+) -> RegressionVerdict:
+    """Compare a metric's latest value against its trailing median.
+
+    Parameters
+    ----------
+    store:
+        The experiment store to query.
+    benchmark, metric:
+        Which trajectory to check (``run_metrics_view`` coordinates).
+    window:
+        How many *prior* rows feed the trailing median (at most).
+    tolerance:
+        The latest value must reach ``tolerance * median``; the default
+        allows 10% scheduler noise between full runs on the same host
+        before the gate fires.  Set to 1.0 for the strict reading.
+    mode:
+        Restrict the trajectory to runs of this mode (``"full"`` by
+        default — smoke-sized runs measure tiny workloads and would poison
+        the trend).  ``None`` uses every run.
+    kind:
+        Restrict to runs of this kind (``"entry"`` by default — transcribed
+        pre-store history rows carry cross-host numbers that are not
+        comparable measurements).  ``None`` uses every kind.
+
+    A trajectory with fewer than two rows passes vacuously (nothing to
+    compare yet) with a reason saying so.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    trajectory: List[Tuple[RunRecord, float]] = store.metric_trajectory(
+        benchmark, metric, mode=mode, kind=kind
+    )
+    values = [value for _, value in trajectory]
+    if len(values) < 2:
+        return RegressionVerdict(
+            benchmark=benchmark, metric=metric, ok=True,
+            reason=f"only {len(values)} recorded row(s); no trend to compare",
+            latest=values[-1] if values else None,
+            trailing_median=None, threshold=None,
+            window=window, tolerance=tolerance, values=values,
+        )
+    latest = values[-1]
+    trailing = values[max(0, len(values) - 1 - window) : -1]
+    median = float(statistics.median(trailing))
+    threshold = tolerance * median
+    ok = latest >= threshold
+    reason = (
+        f"latest {latest:.4g} vs trailing median {median:.4g} over "
+        f"{len(trailing)} row(s) (threshold {threshold:.4g} at "
+        f"tolerance {tolerance})"
+    )
+    return RegressionVerdict(
+        benchmark=benchmark, metric=metric, ok=ok, reason=reason,
+        latest=latest, trailing_median=median, threshold=threshold,
+        window=window, tolerance=tolerance, values=values,
+    )

@@ -84,6 +84,16 @@ def main() -> None:
     gs.FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
     gs.FIXTURE_PATH.write_text(json.dumps(fixture, indent=2) + "\n")
     print(f"wrote {gs.FIXTURE_PATH}")
+
+    # Re-pin the golden digests in the experiment store.  This is the ONE
+    # tool allowed to pass repin=True: pinned rows reject changed digests
+    # everywhere else, so golden regeneration stays an explicit act.
+    from repro.results import ResultsStore, ingest_golden_digests
+
+    store_path = HERE.parent.parent / "BENCH_perf.sqlite"
+    with ResultsStore(store_path) as store:
+        pinned = ingest_golden_digests(store, fixture, repin=True)
+    print(f"re-pinned {len(pinned)} golden digests in {store_path}")
     print(json.dumps(fixture["flip_decisions"], indent=2))
 
 

@@ -1,0 +1,98 @@
+"""Regression-gate tests: the trend query must pass healthy trajectories
+and fail injected slowdowns (the pass/fail pair CI relies on)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.results import ResultsStore, check_regression
+
+
+def _seed(store: ResultsStore, values, benchmark="bench", mode="full", kind="entry"):
+    for index, value in enumerate(values):
+        store.record_run(
+            benchmark, {"speedup": value},
+            timestamp=f"2026-01-{index + 1:02d}T00:00:00+00:00",
+            mode=mode, kind=kind,
+        )
+
+
+class TestGateDecision:
+    def test_healthy_trajectory_passes(self):
+        with ResultsStore() as store:
+            _seed(store, [1.50, 1.62, 1.55, 1.58])
+            verdict = check_regression(store, "bench")
+            assert verdict.ok
+            assert verdict.latest == 1.58
+            assert "ok" in verdict.describe()
+
+    def test_injected_slowdown_fails(self):
+        with ResultsStore() as store:
+            _seed(store, [1.50, 1.62, 1.55, 0.80])
+            verdict = check_regression(store, "bench")
+            assert not verdict.ok
+            assert "REGRESSION" in verdict.describe()
+            assert verdict.latest == 0.80
+            assert verdict.trailing_median == 1.55
+            assert verdict.threshold == pytest.approx(0.9 * 1.55)
+
+    def test_tolerance_absorbs_noise(self):
+        with ResultsStore() as store:
+            # 4% below the median: inside the default 10% tolerance.
+            _seed(store, [1.50, 1.50, 1.44])
+            assert check_regression(store, "bench").ok
+            assert not check_regression(store, "bench", tolerance=1.0).ok
+
+    def test_window_limits_the_trailing_median(self):
+        with ResultsStore() as store:
+            # Ancient glory (3.0) must age out of a window of 2.
+            _seed(store, [3.0, 1.0, 1.0, 1.0])
+            assert check_regression(store, "bench", window=2).ok
+            # A wide window still sees it; median of [3,1,1] is 1.0 → still ok.
+            assert check_regression(store, "bench", window=5).ok
+
+    def test_median_resists_single_outlier(self):
+        with ResultsStore() as store:
+            # One freak 9.0 must not fail an otherwise stable trajectory.
+            _seed(store, [1.5, 9.0, 1.5, 1.5, 1.5])
+            assert check_regression(store, "bench").ok
+
+
+class TestVacuousAndFiltered:
+    def test_empty_trajectory_passes_vacuously(self):
+        with ResultsStore() as store:
+            verdict = check_regression(store, "unrecorded")
+            assert verdict.ok
+            assert "no trend" in verdict.reason
+
+    def test_single_row_passes_vacuously(self):
+        with ResultsStore() as store:
+            _seed(store, [1.5])
+            verdict = check_regression(store, "bench")
+            assert verdict.ok and verdict.trailing_median is None
+
+    def test_smoke_rows_do_not_poison_the_trend(self):
+        with ResultsStore() as store:
+            _seed(store, [1.5, 1.5])
+            store.record_run(
+                "bench", {"speedup": 0.01},
+                timestamp="2026-02-01T00:00:00+00:00", mode="smoke",
+            )
+            verdict = check_regression(store, "bench")
+            assert verdict.ok
+            assert verdict.values == [1.5, 1.5]
+
+    def test_legacy_trajectory_rows_are_excluded(self):
+        """Transcribed pre-store history is documentation, not gate evidence."""
+        with ResultsStore() as store:
+            _seed(store, [9.0, 9.0], kind="trajectory")
+            _seed(store, [1.5, 1.5], benchmark="bench2")
+            assert check_regression(store, "bench").values == []
+            assert check_regression(store, "bench2").values == [1.5, 1.5]
+
+    def test_parameter_validation(self):
+        with ResultsStore() as store:
+            with pytest.raises(ValueError, match="window"):
+                check_regression(store, "bench", window=0)
+            with pytest.raises(ValueError, match="tolerance"):
+                check_regression(store, "bench", tolerance=0.0)

@@ -39,6 +39,7 @@ LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("repro.baselines", "repro.core"),
     ("repro.coresets",),
     ("repro.eval",),
+    ("repro.results",),
     ("repro.fleet",),
 )
 
@@ -168,10 +169,13 @@ POOL_PARENT_SIDE_KEYWORDS: FrozenSet[str] = frozenset({"describe"})
 # store-discipline rule
 # --------------------------------------------------------------------------
 
-#: The only file allowed to open SQLite connections.  Everything else goes
-#: through :class:`repro.fleet.store.DeviceStateStore` so WAL/pragma/retry
-#: policy has exactly one implementation.
-STORE_ALLOWED_FILES: FrozenSet[str] = frozenset({"src/repro/fleet/store.py"})
+#: The only files allowed to open SQLite connections.  Everything else goes
+#: through :class:`repro.fleet.store.DeviceStateStore` (device state) or
+#: :class:`repro.results.store.ResultsStore` (experiment results) so
+#: WAL/pragma/retry policy has exactly two audited implementations.
+STORE_ALLOWED_FILES: FrozenSet[str] = frozenset(
+    {"src/repro/fleet/store.py", "src/repro/results/store.py"}
+)
 
 
 # --------------------------------------------------------------------------
@@ -180,10 +184,11 @@ STORE_ALLOWED_FILES: FrozenSet[str] = frozenset({"src/repro/fleet/store.py"})
 
 #: Path prefixes whose *public* functions, classes and methods must carry
 #: docstrings: the pluggable conv-backend surface, the operational fleet
-#: surface, and the linter itself (dogfood).
+#: surface, the experiment-store API, and the linter itself (dogfood).
 DOCSTRING_PATH_PREFIXES: Tuple[str, ...] = (
     "src/repro/nn/kernels/",
     "src/repro/fleet/",
+    "src/repro/results/",
     "tools/lint/",
 )
 

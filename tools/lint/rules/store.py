@@ -1,12 +1,13 @@
-"""store-discipline: SQLite access is confined to ``repro.fleet.store``.
+"""store-discipline: SQLite access is confined to the audited store modules.
 
-The durability story of the fleet service (PR 6) rests on every connection
-sharing one configuration: WAL journaling, ``synchronous=NORMAL``,
-``busy_timeout``, foreign keys, and the bounded write retry that turns
-injected/transient ``OperationalError`` into recovery instead of data loss.
-A second ``sqlite3.connect`` call site is a second place those pragmas can
-silently be wrong.  Everything goes through
-:class:`repro.fleet.store.DeviceStateStore`.
+The durability story of the fleet service (PR 6) and the experiment store
+(PR 8) rests on every connection sharing one configuration: WAL journaling,
+``synchronous=NORMAL``, ``busy_timeout``, foreign keys, and the bounded
+write retry that turns injected/transient ``OperationalError`` into recovery
+instead of data loss.  A further ``sqlite3.connect`` call site is another
+place those pragmas can silently be wrong.  Everything goes through
+:class:`repro.fleet.store.DeviceStateStore` (device state) or
+:class:`repro.results.store.ResultsStore` (experiment results).
 
 Importing :mod:`sqlite3` elsewhere stays legal — the fault harness raises
 ``sqlite3.OperationalError`` to exercise the retry path — only *opening
@@ -29,12 +30,13 @@ class StoreDiscipline(Rule):
 
     name = "store-discipline"
     description = (
-        "sqlite3.connect is confined to repro/fleet/store.py; go through "
-        "DeviceStateStore so WAL/pragma/retry policy stays in one place"
+        "sqlite3.connect is confined to the audited store modules; go "
+        "through DeviceStateStore or ResultsStore so WAL/pragma/retry "
+        "policy stays in one place"
     )
 
     def applies(self, ctx: FileContext) -> bool:
-        """Every file except the store module itself."""
+        """Every file except the store modules themselves."""
         return ctx.rel_path not in config.STORE_ALLOWED_FILES
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
@@ -47,8 +49,8 @@ class StoreDiscipline(Rule):
             ):
                 findings.append(ctx.finding(
                     node, self.name,
-                    "sqlite3.connect outside repro.fleet.store; use "
-                    "DeviceStateStore (WAL, pragmas and bounded write retry "
-                    "live there)",
+                    "sqlite3.connect outside the audited store modules; use "
+                    "DeviceStateStore or ResultsStore (WAL, pragmas and "
+                    "bounded write retry live there)",
                 ))
         return findings
