@@ -514,6 +514,7 @@ class CalibrationRoundState:
 
     codes: Dict[str, np.ndarray]
     batchnorm: Dict[int, Tuple[np.ndarray, np.ndarray]]
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
 
     def digest(self) -> str:
         """SHA-256 fingerprint over codes and BatchNorm statistics.
@@ -521,7 +522,15 @@ class CalibrationRoundState:
         Two devices with equal digests walk bit-identical calibration
         trajectories when given equal pools and the same BF package — the
         dedupe key of the fleet service's device-state store.
+
+        Computed once and cached: snapshots are immutable by convention
+        (capture copies every array, and restore reads without writing), and
+        the service/gateway tier re-digests the same snapshot at submit,
+        dedupe and reuse sites.  The cache is an object-local derived value,
+        so it survives pickling harmlessly.
         """
+        if self._digest is not None:
+            return self._digest
         import hashlib
 
         digest = hashlib.sha256()
@@ -535,7 +544,8 @@ class CalibrationRoundState:
             digest.update(str(index).encode())
             digest.update(np.ascontiguousarray(mean).tobytes())
             digest.update(np.ascontiguousarray(var).tobytes())
-        return digest.hexdigest()
+        self._digest = digest.hexdigest()
+        return self._digest
 
 
 def capture_calibration_state(qmodel: QuantizedModel) -> CalibrationRoundState:

@@ -311,7 +311,9 @@ class WorkerPool:
         self._respawns = 0
         if self.workers > 1:
             self._context = multiprocessing.get_context(mp_context)
-            self._task_queue = self._context.Queue()
+            # Depth is bounded by len(tasks) per map() call: the parent is the
+            # only producer and it never has two maps in flight.
+            self._task_queue = self._context.Queue()  # repro-lint: disable=bounded-queue -- producer-bounded: one map() worth of tasks max
             # The payload is pickled once per worker lifetime (here), not once
             # per item — the amortisation that makes persistent pools cheap.
             self._dtype_name = str(runtime.get_dtype())

@@ -1,0 +1,499 @@
+"""Single-writer store daemon: one process owns the store, many submit.
+
+The WAL :class:`~repro.fleet.store.DeviceStateStore` is safe for one writing
+process; a fleet front end wants many submitter processes.  Rather than
+multi-writer SQLite (lock storms, split retry policy), this module serializes
+every mutation through **one** daemon process that owns the connection and
+serves commands over a Unix-domain socket using the length-prefixed frames of
+:mod:`repro.fleet.protocol`.
+
+Durability protocol per mutating command (the order is the contract)::
+
+    1. append (seq, method, args, kwargs) to the append-only journal; fsync
+    2. [writer_crash fault-injection point — the daemon may die here]
+    3. apply to the store inside one transaction that also records seq
+    4. reply to the client
+
+A writer crash between 1 and 3 leaves a journaled-but-unapplied command; on
+restart the daemon replays every journal record whose seq is newer than the
+store's recorded ``journal_seq`` (step 3 makes application idempotent), then
+truncates the journal.  A crash between 3 and 4 leaves the command applied
+and the client without an answer — the client surfaces
+:class:`~repro.fleet.store.StoreError`, and recovery goes through
+:meth:`FleetService.resume`, which is idempotent by construction.
+
+:class:`StoreClient` duck-types ``DeviceStateStore``'s method surface, so a
+:class:`~repro.fleet.service.FleetService` (or gateway) runs unchanged over a
+remote store.  Reads are served directly from the daemon's connection (WAL
+readers never block its writes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.fleet.faults import FaultPlan, FaultSpec
+from repro.fleet.protocol import ProtocolError, append_journal_record, read_journal, recv_frame, send_frame
+from repro.fleet.store import MUTATING_COMMANDS, DeviceStateStore, StoreError
+
+__all__ = [
+    "StoreClient",
+    "StoreDaemon",
+    "spawn_store_daemon",
+    "wait_for_socket",
+]
+
+#: Store methods clients may invoke remotely: every mutator plus the reads
+#: the service/gateway tier needs.  Anything else is rejected — the daemon is
+#: a command server, not an RPC bridge to arbitrary attributes.
+READ_COMMANDS = frozenset(
+    {
+        "quarantined_devices",
+        "get_round",
+        "list_rounds",
+        "unfinished_rounds",
+        "get_device_round",
+        "device_rounds",
+        "get_meta",
+        "applied_journal_seq",
+    }
+)
+ALLOWED_COMMANDS = frozenset(MUTATING_COMMANDS) | READ_COMMANDS
+
+#: Exceptions a command may legitimately raise as part of the store API;
+#: they re-raise client-side with their original type so callers like
+#: ``FleetService`` keep their error handling.
+_API_ERRORS = ("KeyError", "ValueError")
+
+_SHUTDOWN = "__shutdown__"
+
+
+class StoreDaemon:
+    """The single writer: owns the store, journals and applies commands.
+
+    Parameters
+    ----------
+    store_path:
+        SQLite database file (must be file-backed; the whole point is that
+        submitters in other processes share it).
+    socket_path:
+        Unix-domain socket to listen on (created, unlinked on close).
+    journal_path:
+        Append-only command journal.  Replayed (then truncated) at startup.
+    fault_plan:
+        Optional plan whose ``writer_crash`` specs fire between journal
+        append and store apply — the crash window replay exists for.  Site
+        labels are ``{method}:{per-method occurrence}``, e.g. ``mark_done:3``.
+    """
+
+    def __init__(
+        self,
+        store_path: Union[str, Path],
+        socket_path: Union[str, Path],
+        journal_path: Union[str, Path],
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if str(store_path) == ":memory:":
+            raise ValueError("the store daemon needs a file-backed store")
+        self.store = DeviceStateStore(store_path)
+        self.socket_path = str(socket_path)
+        self.journal_path = Path(journal_path)
+        self.fault_plan = fault_plan
+        self._method_counts: Dict[str, int] = {}
+        self._next_seq = self._replay_journal() + 1
+        self._journal_fh = open(self.journal_path, "ab")
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.socket_path)
+        self._listener.listen(16)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+        self._running = False
+
+    # ------------------------------------------------------------ replay
+    def _replay_journal(self) -> int:
+        """Apply journaled-but-unapplied commands; returns the last seq seen.
+
+        ``apply_journaled`` skips records at or below the store's recorded
+        sequence, so replaying the whole journal is idempotent.  After
+        replay everything in the journal is reflected in the store, so the
+        journal is truncated — it only ever holds the un-checkpointed tail.
+        """
+        last_seq = self.store.applied_journal_seq()
+        for record in read_journal(self.journal_path):
+            seq, method, args, kwargs = record
+            self.store.apply_journaled(seq, method, tuple(args), kwargs)
+            last_seq = max(last_seq, int(seq))
+        self.journal_path.write_bytes(b"")
+        return last_seq
+
+    # ------------------------------------------------------------- serving
+    def serve_forever(self) -> None:
+        """Accept connections and serve commands until shutdown.
+
+        Single-threaded by design: one writer, strictly serialized commands,
+        no locking.  Each readable connection is served one complete frame
+        at a time (clients send whole frames promptly; this is an internal
+        coordination socket, not a hostile network edge).
+        """
+        self._running = True
+        try:
+            while self._running:
+                for key, _ in self._selector.select(timeout=1.0):
+                    if key.data == "accept":
+                        conn, _addr = self._listener.accept()
+                        self._selector.register(conn, selectors.EVENT_READ, "conn")
+                    else:
+                        self._serve_one(key.fileobj)  # type: ignore[arg-type]
+        finally:
+            self.close()
+
+    def _serve_one(self, conn: socket.socket) -> None:
+        try:
+            request = recv_frame(conn)
+        except (EOFError, ProtocolError, ConnectionError):
+            self._drop(conn)
+            return
+        try:
+            response = self._handle(request)
+        except SystemExit:
+            raise
+        except BaseException as error:  # noqa: B036 -- every command failure must become a reply, not a daemon death
+            response = ("error", type(error).__name__, str(error))
+        try:
+            send_frame(conn, response)
+        except (BrokenPipeError, ConnectionError):
+            self._drop(conn)
+            return
+        if isinstance(request, tuple) and len(request) >= 2 and request[1] == _SHUTDOWN:
+            self._running = False
+
+    def _drop(self, conn: socket.socket) -> None:
+        with contextlib.suppress(KeyError):
+            self._selector.unregister(conn)
+        conn.close()
+
+    def _handle(self, request: Any) -> Tuple[Any, ...]:
+        if (
+            not isinstance(request, tuple)
+            or len(request) != 4
+            or request[0] != "call"
+        ):
+            raise ProtocolError(f"malformed request frame: {request!r}")
+        _tag, method, args, kwargs = request
+        if method == _SHUTDOWN:
+            return ("ok", None)
+        if method not in ALLOWED_COMMANDS:
+            raise ProtocolError(f"unknown or disallowed store command {method!r}")
+        if method in MUTATING_COMMANDS:
+            return ("ok", self._apply_mutation(method, tuple(args), dict(kwargs)))
+        return ("ok", getattr(self.store, method)(*args, **kwargs))
+
+    def _apply_mutation(
+        self, method: str, args: Tuple[Any, ...], kwargs: Mapping[str, Any]
+    ) -> Any:
+        seq = self._next_seq
+        self._next_seq += 1
+        append_journal_record(self._journal_fh, (seq, method, args, dict(kwargs)))
+        self._crash_point(method)
+        _applied, result = self.store.apply_journaled(seq, method, args, kwargs)
+        return result
+
+    def _crash_point(self, method: str) -> None:
+        """The journaled-but-unapplied window; ``writer_crash`` fires here."""
+        if self.fault_plan is None:
+            return
+        count = self._method_counts.get(method, 0) + 1
+        self._method_counts[method] = count
+        spec = self.fault_plan.gateway_event("writer_crash", f"{method}:{count}")
+        if spec is not None and spec.hard:
+            os._exit(13)
+
+    def close(self) -> None:
+        """Release the socket, journal handle and store; idempotent."""
+        self._running = False
+        with contextlib.suppress(OSError, RuntimeError):
+            self._selector.close()
+        self._listener.close()
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        if not self._journal_fh.closed:
+            self._journal_fh.close()
+        self.store.close()
+
+
+class StoreClient:
+    """Submitter-side proxy with the :class:`DeviceStateStore` method surface.
+
+    Each call is one request/response round trip.  A dead or unreachable
+    daemon surfaces as :class:`~repro.fleet.store.StoreError` (the same
+    contract as a local store exhausting its write retries); ``KeyError`` /
+    ``ValueError`` raised by the store re-raise with their original type.
+
+    The ``before_write`` fault hook runs *client-side* before mutating
+    commands, so service-level store-write fault tests behave identically
+    over a remote store (site label = command name instead of SQL verb).
+    """
+
+    def __init__(self, socket_path: Union[str, Path], connect_timeout: float = 10.0) -> None:
+        self.socket_path = str(socket_path)
+        self.connect_timeout = float(connect_timeout)
+        self.before_write = None  # type: Optional[Any]
+        self._sock: Optional[socket.socket] = None
+
+    # ---------------------------------------------------------------- plumbing
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as error:
+            sock.close()
+            raise StoreError(
+                f"cannot reach store daemon at {self.socket_path}: {error}"
+            ) from error
+        sock.settimeout(None)
+        self._sock = sock
+        return sock
+
+    def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        if method in MUTATING_COMMANDS and self.before_write is not None:
+            self.before_write(method)
+        sock = self._connect()
+        try:
+            send_frame(sock, ("call", method, args, kwargs))
+            response = recv_frame(sock)
+        except (EOFError, ConnectionError, BrokenPipeError, ProtocolError) as error:
+            self.close()
+            raise StoreError(
+                f"store daemon connection lost during {method!r}: {error}"
+            ) from error
+        if response[0] == "ok":
+            return response[1]
+        _tag, error_type, message = response
+        if error_type in _API_ERRORS:
+            raise {"KeyError": KeyError, "ValueError": ValueError}[error_type](message)
+        raise StoreError(f"store daemon rejected {method!r}: [{error_type}] {message}")
+
+    def close(self) -> None:
+        """Drop the connection; the next call reconnects."""
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "StoreClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def shutdown_daemon(self) -> None:
+        """Ask the daemon to exit cleanly (it finishes in-flight work first)."""
+        self._call(_SHUTDOWN)
+        self.close()
+
+    # ------------------------------------------------- DeviceStateStore surface
+    def register_device(self, device_id: str) -> None:
+        """Remote :meth:`DeviceStateStore.register_device`."""
+        self._call("register_device", device_id)
+
+    def quarantine_device(self, device_id: str, error: str) -> None:
+        """Remote :meth:`DeviceStateStore.quarantine_device`."""
+        self._call("quarantine_device", device_id, error)
+
+    def release_device(self, device_id: str) -> None:
+        """Remote :meth:`DeviceStateStore.release_device`."""
+        self._call("release_device", device_id)
+
+    def quarantined_devices(self) -> Dict[str, str]:
+        """Remote :meth:`DeviceStateStore.quarantined_devices`."""
+        return self._call("quarantined_devices")
+
+    def create_round(self, device_ids: List[str]) -> int:
+        """Remote :meth:`DeviceStateStore.create_round`."""
+        return self._call("create_round", device_ids)
+
+    def set_round_status(self, round_id: int, status: str) -> None:
+        """Remote :meth:`DeviceStateStore.set_round_status`."""
+        self._call("set_round_status", round_id, status)
+
+    def get_round(self, round_id: int) -> Any:
+        """Remote :meth:`DeviceStateStore.get_round`."""
+        return self._call("get_round", round_id)
+
+    def list_rounds(self) -> List[Any]:
+        """Remote :meth:`DeviceStateStore.list_rounds`."""
+        return self._call("list_rounds")
+
+    def unfinished_rounds(self) -> List[int]:
+        """Remote :meth:`DeviceStateStore.unfinished_rounds`."""
+        return self._call("unfinished_rounds")
+
+    def init_device_round(
+        self,
+        round_id: int,
+        device_id: str,
+        state_digest: str,
+        pool_digest: str,
+        snapshot: Any,
+    ) -> None:
+        """Remote :meth:`DeviceStateStore.init_device_round`."""
+        self._call(
+            "init_device_round",
+            round_id,
+            device_id,
+            state_digest=state_digest,
+            pool_digest=pool_digest,
+            snapshot=snapshot,
+        )
+
+    def mark_running(self, round_id: int, device_id: str) -> None:
+        """Remote :meth:`DeviceStateStore.mark_running`."""
+        self._call("mark_running", round_id, device_id)
+
+    def mark_done(self, round_id: int, device_id: str, result_state: Any, stats: Any) -> None:
+        """Remote :meth:`DeviceStateStore.mark_done`."""
+        self._call("mark_done", round_id, device_id, result_state, stats)
+
+    def mark_failed(self, round_id: int, device_id: str, error: str) -> None:
+        """Remote :meth:`DeviceStateStore.mark_failed`."""
+        self._call("mark_failed", round_id, device_id, error)
+
+    def mark_quarantined(self, round_id: int, device_id: str, error: str) -> None:
+        """Remote :meth:`DeviceStateStore.mark_quarantined`."""
+        self._call("mark_quarantined", round_id, device_id, error)
+
+    def get_device_round(self, round_id: int, device_id: str) -> Any:
+        """Remote :meth:`DeviceStateStore.get_device_round`."""
+        return self._call("get_device_round", round_id, device_id)
+
+    def device_rounds(self, round_id: int) -> List[Any]:
+        """Remote :meth:`DeviceStateStore.device_rounds`."""
+        return self._call("device_rounds", round_id)
+
+    def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Remote :meth:`DeviceStateStore.get_meta`."""
+        return self._call("get_meta", key, default)
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Remote :meth:`DeviceStateStore.set_meta`."""
+        self._call("set_meta", key, value)
+
+    def applied_journal_seq(self) -> int:
+        """Remote :meth:`DeviceStateStore.applied_journal_seq`."""
+        return self._call("applied_journal_seq")
+
+
+# ----------------------------------------------------------------- launching
+def spawn_store_daemon(
+    store_path: Union[str, Path],
+    socket_path: Union[str, Path],
+    journal_path: Union[str, Path],
+    crash_after: Optional[str] = None,
+    startup_timeout: float = 30.0,
+) -> "subprocess.Popen[bytes]":
+    """Start a daemon subprocess and wait until its socket accepts.
+
+    ``crash_after`` (``"method:N"``) plants a hard ``writer_crash`` fault on
+    the N-th occurrence of that mutating command — the lever the chaos smoke
+    and the daemon tests pull.
+    """
+    # A -c shim instead of -m: ``repro.fleet`` imports this module, so runpy
+    # would warn about re-executing a module already in sys.modules.
+    cmd = [
+        sys.executable,
+        "-c",
+        "import sys; from repro.fleet.daemon import main; sys.exit(main(sys.argv[1:]))",
+        "--store",
+        str(store_path),
+        "--socket",
+        str(socket_path),
+        "--journal",
+        str(journal_path),
+    ]
+    if crash_after is not None:
+        cmd += ["--crash-after", crash_after]
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(cmd, env=env)
+    wait_for_socket(socket_path, timeout=startup_timeout, process=process)
+    return process
+
+
+def wait_for_socket(
+    socket_path: Union[str, Path],
+    timeout: float = 30.0,
+    process: Optional["subprocess.Popen[bytes]"] = None,
+) -> None:
+    """Poll until a Unix socket accepts connections (daemon readiness)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.connect(str(socket_path))
+            return
+        except OSError:
+            if process is not None and process.poll() is not None:
+                raise RuntimeError(
+                    f"store daemon exited with code {process.returncode} before "
+                    "accepting connections"
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"store daemon socket {socket_path} not ready after {timeout}s"
+                )
+            time.sleep(0.02)
+        finally:
+            probe.close()
+
+
+def _parse_crash_after(value: str) -> FaultPlan:
+    method, _, count_text = value.partition(":")
+    if method not in MUTATING_COMMANDS or not count_text.isdigit() or int(count_text) < 1:
+        raise argparse.ArgumentTypeError(
+            f"--crash-after wants '<mutating-command>:<N>=1..>', got {value!r}"
+        )
+    return FaultPlan(
+        [FaultSpec(kind="writer_crash", target=f"{method}:{int(count_text)}", hard=True)]
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.fleet.daemon --store ... --socket ...``."""
+    parser = argparse.ArgumentParser(description="single-writer DeviceStateStore daemon")
+    parser.add_argument("--store", required=True, help="SQLite database file")
+    parser.add_argument("--socket", required=True, help="Unix socket to listen on")
+    parser.add_argument("--journal", required=True, help="append-only command journal")
+    parser.add_argument(
+        "--crash-after",
+        type=_parse_crash_after,
+        default=None,
+        help="inject a hard writer crash after journaling the N-th "
+        "occurrence of a command, e.g. 'mark_done:3' (chaos testing)",
+    )
+    args = parser.parse_args(argv)
+    daemon = StoreDaemon(
+        store_path=args.store,
+        socket_path=args.socket,
+        journal_path=args.journal,
+        fault_plan=args.crash_after,
+    )
+    daemon.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Async fleet gateway: self-paced device ingestion over the service tier.
+
+Devices in the paper's deployment story report calibration state on their own
+schedules; :class:`~repro.fleet.service.FleetService` processes rounds only
+when a caller submits them.  This package is the front end between the two:
+
+* :mod:`repro.fleet.gateway.ingress` — typed admission results
+  (accept / defer-with-retry-after / shed / reject), the
+  :class:`BackpressurePolicy` that decides them, and the bounded ingress
+  queue.  Nothing in the gateway buffers without an explicit bound.
+* :mod:`repro.fleet.gateway.loop` — the :class:`FleetGateway` event loop:
+  batches compatible reports into service rounds, tracks device liveness via
+  heartbeat leases, expires quiet devices' in-flight work back to the queue
+  and eventually quarantines them through the store.
+* :mod:`repro.fleet.gateway.chaos` — the seeded chaos harness that drives a
+  fleet through delivery faults (stall / duplicate / reorder / flood) and
+  asserts surviving devices stay bit-identical to a fault-free golden run.
+
+The gateway layers strictly *above* ``repro.fleet`` in the import DAG: it
+orchestrates the service/store tier and never the other way around.
+"""
+
+from repro.fleet.gateway.chaos import ChaosResult, build_wave_schedule, perturb_schedule, run_chaos
+from repro.fleet.gateway.ingress import (
+    Accepted,
+    Admission,
+    Backpressure,
+    BackpressurePolicy,
+    Deferred,
+    DeviceReport,
+    Rejected,
+    Shed,
+)
+from repro.fleet.gateway.loop import (
+    FleetGateway,
+    GatewayConfig,
+    GatewayStats,
+    ManualClock,
+    RoundLog,
+)
+
+__all__ = [
+    "Accepted",
+    "Admission",
+    "Backpressure",
+    "BackpressurePolicy",
+    "ChaosResult",
+    "Deferred",
+    "DeviceReport",
+    "FleetGateway",
+    "GatewayConfig",
+    "GatewayStats",
+    "ManualClock",
+    "Rejected",
+    "RoundLog",
+    "Shed",
+    "build_wave_schedule",
+    "perturb_schedule",
+    "run_chaos",
+]

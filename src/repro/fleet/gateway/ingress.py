@@ -1,0 +1,174 @@
+"""Bounded ingress: device reports, typed admission results, backpressure.
+
+The gateway's first promise is that ingestion is *never* an unbounded buffer:
+every report is answered with a typed admission result the device can act on,
+and the queue behind it has a hard capacity.  Three pressure regimes:
+
+``Accepted``
+    Queued (or collapsed onto an already-queued duplicate — ``deduped``).
+``Deferred``
+    The queue is past its high watermark; the device should retry after
+    ``retry_after`` seconds.  The report is *not* queued.
+``Shed``
+    The queue is full; the report is dropped and the device told so.  Load
+    shedding is explicit and observable, never a silent drop.
+
+``Rejected`` is the fourth, non-pressure result: the report itself is invalid
+at this gateway (unknown device, quarantined device, stale sequence number).
+
+The policy lives in one frozen object (:class:`BackpressurePolicy`) so
+admission behaviour is configuration, not scattered conditionals, and the
+queue bound is wired through ``REPRO_FLEET_QUEUE_MAX`` (see
+``docs/operations.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "Accepted",
+    "Admission",
+    "Backpressure",
+    "BackpressurePolicy",
+    "Deferred",
+    "DeviceReport",
+    "Rejected",
+    "Shed",
+]
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """One device's self-paced calibration report.
+
+    Attributes
+    ----------
+    device_id:
+        The reporting device (must be registered in the gateway's fleet).
+    seq:
+        Device-local monotonically increasing report number.  The gateway
+        dispatches a device's reports in ``seq`` order regardless of arrival
+        order and rejects sequence numbers at or below the last dispatched
+        one — the at-least-once transport dedupe key.
+    pool:
+        The calibration pool the device collected for this report.
+    """
+
+    device_id: str
+    seq: int
+    pool: Dataset
+
+    def __post_init__(self) -> None:
+        """Validate eagerly: a malformed report never enters the gateway."""
+        if not self.device_id:
+            raise ValueError("device_id must be non-empty")
+        if self.seq < 0:
+            raise ValueError(f"seq must be >= 0, got {self.seq}")
+
+
+class Admission:
+    """Base class of every typed answer :meth:`FleetGateway.offer` returns."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Accepted(Admission):
+    """The report is queued (or collapsed onto an equivalent queued one).
+
+    ``deduped`` is True when an already-queued report from the same device
+    made this one redundant (same ``seq``, or same pool contents) — the
+    duplicate collapses to one round instead of calibrating twice.
+    ``position`` is the queue depth after admission (observability).
+    """
+
+    position: int
+    deduped: bool = False
+
+
+@dataclass(frozen=True)
+class Backpressure(Admission):
+    """Base of the two pressure answers: the report was *not* queued."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class Deferred(Backpressure):
+    """Queue past its watermark: retry after ``retry_after`` seconds."""
+
+    retry_after: float = 0.0
+
+
+@dataclass(frozen=True)
+class Shed(Backpressure):
+    """Queue full: the report is dropped, explicitly and observably."""
+
+
+@dataclass(frozen=True)
+class Rejected(Admission):
+    """The report is invalid at this gateway (not a pressure condition)."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """Admission policy for the bounded ingress queue.
+
+    Attributes
+    ----------
+    queue_max:
+        Hard capacity of the ingress queue; at this depth reports are shed.
+        Mirrors ``REPRO_FLEET_QUEUE_MAX``.
+    defer_watermark:
+        Fraction of ``queue_max`` at which admission switches from accept to
+        defer.  ``1.0`` disables deferral (accept until full, then shed).
+    retry_after_s:
+        The retry hint a :class:`Deferred` answer carries.
+    """
+
+    queue_max: int = 64
+    defer_watermark: float = 0.75
+    retry_after_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        """Validate at construction; a bad policy never admits anything."""
+        if self.queue_max < 1:
+            raise ValueError(f"queue_max must be >= 1, got {self.queue_max}")
+        if not 0.0 < self.defer_watermark <= 1.0:
+            raise ValueError(
+                f"defer_watermark must be in (0, 1], got {self.defer_watermark}"
+            )
+        if self.retry_after_s <= 0:
+            raise ValueError(f"retry_after_s must be > 0, got {self.retry_after_s}")
+
+    @property
+    def defer_threshold(self) -> int:
+        """Queue depth at which admission starts deferring."""
+        return max(1, int(self.queue_max * self.defer_watermark))
+
+    def admit(self, depth: int) -> Optional[Backpressure]:
+        """Pressure answer for a new report at queue depth ``depth``.
+
+        ``None`` means accept.  Dedupe hits are decided by the gateway
+        *before* asking — collapsing onto an existing entry adds no depth,
+        so it is never a pressure event.
+        """
+        if depth >= self.queue_max:
+            return Shed(
+                reason=f"ingress queue full ({depth}/{self.queue_max}); report shed"
+            )
+        if depth >= self.defer_threshold and self.defer_threshold < self.queue_max:
+            return Deferred(
+                reason=(
+                    f"ingress queue past watermark ({depth}/{self.queue_max}, "
+                    f"defer at {self.defer_threshold})"
+                ),
+                retry_after=self.retry_after_s,
+            )
+        return None

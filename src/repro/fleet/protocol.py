@@ -1,0 +1,183 @@
+"""Wire and journal framing for the single-writer store daemon.
+
+Two framing problems share one module because they share one failure model —
+byte streams that can be cut anywhere:
+
+* **Socket frames.**  Commands and replies travel between submitter processes
+  and the store daemon as length-prefixed pickle frames: a 4-byte big-endian
+  payload length followed by the payload.  Length-prefixing makes message
+  boundaries explicit on a stream socket; the ``MAX_FRAME_BYTES`` cap turns a
+  corrupted length word into a clean :class:`ProtocolError` instead of an
+  attempt to buffer gigabytes.
+
+* **Journal records.**  The daemon appends every mutating command to an
+  append-only journal *before* applying it.  A journal record adds a CRC-32
+  of the payload to the length prefix, because unlike a socket the journal is
+  read back after a crash: the final record may be torn mid-write, and the
+  checksum distinguishes "valid tail" from "crash artifact".  Reading stops
+  cleanly at the first short or corrupt record — everything before it is
+  intact by construction (records are flushed+fsynced in order).
+
+Payloads are pickled for the same reason the store pickles snapshots:
+calibration state is numpy-heavy and must round-trip byte-exactly.  Both ends
+of the pipe are this repository's own processes, so pickle's trust model
+matches the deployment (the socket is a filesystem-permission-guarded Unix
+socket, not a network listener).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, BinaryIO, List, Tuple, Union
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "append_journal_record",
+    "journal_tail_offset",
+    "read_journal",
+    "recv_frame",
+    "send_frame",
+]
+
+#: 4-byte big-endian unsigned payload length.
+_FRAME_HEADER = struct.Struct("!I")
+#: Journal record header: payload length + CRC-32 of the payload.
+_JOURNAL_HEADER = struct.Struct("!II")
+
+#: Hard cap on a single frame/record payload.  Calibration snapshots for the
+#: models in this repo are well under this; anything larger is a corrupted
+#: length word or a protocol bug, and failing fast beats an OOM.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame or journal record (bad length, bad checksum)."""
+
+
+# ------------------------------------------------------------- socket frames
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Pickle ``obj`` and send it as one length-prefixed frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_FRAME_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    """Read exactly ``size`` bytes, returning what arrived before any EOF."""
+    chunks: List[bytes] = []
+    remaining = size
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one frame and unpickle it.
+
+    Raises ``EOFError`` on a connection closed between frames (the normal
+    way a peer hangs up), :class:`ProtocolError` on a close mid-frame or an
+    implausible length word.
+    """
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    if not header:
+        raise EOFError("connection closed")
+    if len(header) < _FRAME_HEADER.size:
+        raise ProtocolError("connection closed mid-frame header")
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame announces {length} bytes, over MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}) — corrupted stream?"
+        )
+    payload = _recv_exact(sock, length)
+    if len(payload) < length:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(payload)}/{length} payload bytes)"
+        )
+    return pickle.loads(payload)
+
+
+# ------------------------------------------------------------ journal records
+def append_journal_record(fh: BinaryIO, record: Any) -> None:
+    """Append one record durably: write, flush, fsync.
+
+    The fsync is the point of the journal — when this returns, the record
+    survives a hard writer death, so the daemon may tell itself (not yet the
+    client) that the command is decided.
+    """
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"journal record of {len(payload)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    fh.write(_JOURNAL_HEADER.pack(len(payload), zlib.crc32(payload)))
+    fh.write(payload)
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def read_journal(path: Union[str, Path]) -> List[Any]:
+    """Read every intact record from a journal file, tolerating a torn tail.
+
+    A record that is short (crash mid-write) or fails its checksum ends the
+    scan; records before it are returned.  A missing file is an empty
+    journal.
+    """
+    journal_path = Path(path)
+    if not journal_path.exists():
+        return []
+    records: List[Any] = []
+    data = journal_path.read_bytes()
+    offset = 0
+    while offset + _JOURNAL_HEADER.size <= len(data):
+        length, checksum = _JOURNAL_HEADER.unpack_from(data, offset)
+        start = offset + _JOURNAL_HEADER.size
+        end = start + length
+        if length > MAX_FRAME_BYTES or end > len(data):
+            break  # torn tail: the writer died mid-record
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            break
+        records.append(pickle.loads(payload))
+        offset = end
+    return records
+
+
+def journal_tail_offset(path: Union[str, Path]) -> Tuple[int, int]:
+    """(number of intact records, byte offset of the first torn byte).
+
+    Exposed for tests and operators inspecting a post-crash journal; the
+    daemon itself truncates the journal after replay instead.
+    """
+    journal_path = Path(path)
+    if not journal_path.exists():
+        return 0, 0
+    data = journal_path.read_bytes()
+    count = 0
+    offset = 0
+    while offset + _JOURNAL_HEADER.size <= len(data):
+        length, checksum = _JOURNAL_HEADER.unpack_from(data, offset)
+        start = offset + _JOURNAL_HEADER.size
+        end = start + length
+        if length > MAX_FRAME_BYTES or end > len(data):
+            break
+        if zlib.crc32(data[start:end]) != checksum:
+            break
+        count += 1
+        offset = end
+    return count, offset

@@ -68,6 +68,7 @@ from repro.fleet.calibrator import FleetCalibrator
 from repro.fleet.faults import FaultPlan
 from repro.fleet.registry import Fleet
 from repro.fleet.store import DeviceStateStore
+from repro.utils.env import env_int
 
 __all__ = [
     "FleetService",
@@ -123,6 +124,21 @@ class RetryPolicy:
     jitter: float = 0.25
     timeout: Optional[float] = None
     seed: int = 0
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "RetryPolicy":
+        """Build a policy honouring the ``REPRO_FLEET_MAX_ATTEMPTS`` env knob.
+
+        Explicit keyword ``overrides`` win over the environment; validation
+        (with errors naming the variable) happens at parse time, so a typo'd
+        deployment knob fails on service construction, not mid-round.  See
+        ``docs/operations.md`` for the knob table.
+        """
+        if "max_attempts" not in overrides:
+            overrides["max_attempts"] = env_int(
+                "REPRO_FLEET_MAX_ATTEMPTS", cls.max_attempts, minimum=1
+            )
+        return cls(**overrides)
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -180,6 +196,11 @@ class RoundOutcome:
     stats: Dict[str, BitFlipCalibrationStats] = field(default_factory=dict)
     statuses: Dict[str, str] = field(default_factory=dict)
     quarantined: Dict[str, str] = field(default_factory=dict)
+    #: Per-device post-round CalibrationRoundState for devices that reached
+    #: ``done`` — callers that submit the *next* round for these devices can
+    #: pass it back via ``submit(..., snapshots=...)`` and skip re-capturing
+    #: (the gateway's steady-state path).
+    result_states: Dict[str, Any] = field(default_factory=dict)
     num_groups: int = 0
     retries: int = 0
     resumed_devices: int = 0
@@ -227,7 +248,9 @@ class FleetService:
         state in place on success (exactly like the raw calibrator would).
     store:
         Durable state store; defaults to an in-memory store (API-complete but
-        not crash-safe — pass a file-backed store for durability).
+        not crash-safe — pass a file-backed store for durability, or a
+        :class:`~repro.fleet.daemon.StoreClient` to share one writer daemon
+        across many submitter processes).
     retry_policy:
         Retry/backoff/timeout knobs; defaults to :class:`RetryPolicy()`.
     calibrator:
@@ -247,7 +270,7 @@ class FleetService:
     def __init__(
         self,
         fleet: Fleet,
-        store: Optional[DeviceStateStore] = None,
+        store: Optional[Any] = None,  # DeviceStateStore or daemon.StoreClient
         retry_policy: Optional[RetryPolicy] = None,
         calibrator: Optional[FleetCalibrator] = None,
         fault_plan: Optional[FaultPlan] = None,
@@ -287,35 +310,69 @@ class FleetService:
         return self._pool
 
     # ------------------------------------------------------------------ rounds
-    def submit(self, pools: Mapping[str, Dataset]) -> int:
+    def submit(
+        self,
+        pools: Mapping[str, Dataset],
+        device_ids: Optional[List[str]] = None,
+        snapshots: Optional[Mapping[str, Any]] = None,
+    ) -> int:
         """Open a calibration round; returns its durable round id.
 
-        Every non-quarantined fleet device with a pool joins the round; its
+        By default every non-quarantined fleet device with a pool joins the
+        round; ``device_ids`` restricts it to a subset (the gateway batches
+        whichever devices reported, not the whole fleet).  Each device's
         round-start snapshot and dedupe digests are persisted *before* any
         work happens, which is what later makes retry and resume possible.
         Already-quarantined devices are skipped (graceful degradation — the
-        round serves the healthy remainder).
+        round serves the healthy remainder); explicitly naming a quarantined
+        or unknown device raises instead, because an explicit subset is a
+        claim about who participates.
+
+        ``snapshots`` maps device ids to known-current
+        :class:`~repro.core.bitflip.CalibrationRoundState` objects (e.g. the
+        ``result_states`` of the device's previous round) — provided entries
+        skip the capture walk over the model.  The caller owns the claim
+        that the snapshot matches the device's live state; the gateway is
+        the intended caller and is sole mutator of its devices.
         """
         quarantined = self.store.quarantined_devices()
-        device_ids = [device_id for device_id in self.fleet.ids if device_id not in quarantined]
-        missing = [device_id for device_id in device_ids if device_id not in pools]
+        if device_ids is None:
+            selected = [
+                device_id for device_id in self.fleet.ids if device_id not in quarantined
+            ]
+        else:
+            selected = list(device_ids)
+            if len(set(selected)) != len(selected):
+                raise ValueError(f"duplicate device ids in submit subset: {selected}")
+            for device_id in selected:
+                self.fleet.get(device_id)  # KeyError on unknown ids
+            blocked = sorted(set(selected) & set(quarantined))
+            if blocked:
+                raise ValueError(
+                    f"cannot submit quarantined devices: {blocked} "
+                    "(release them first)"
+                )
+        missing = [device_id for device_id in selected if device_id not in pools]
         if missing:
             raise KeyError(f"no calibration pool for devices: {missing}")
-        if not device_ids:
+        if not selected:
             raise ValueError(
                 "no eligible devices: the whole fleet is quarantined "
                 f"({sorted(quarantined)})"
             )
-        for device_id in device_ids:
+        for device_id in selected:
             self.store.register_device(device_id)
-        round_id = self.store.create_round(device_ids)
-        pool_digests = {}
-        for device_id in device_ids:
+        round_id = self.store.create_round(selected)
+        pool_digests: Dict[int, str] = {}
+        for device_id in selected:
             pool = pools[device_id]
             key = id(pool)
             if key not in pool_digests:
                 pool_digests[key] = dataset_digest(pool)
-            snapshot = capture_calibration_state(self.fleet.get(device_id).qmodel)
+            if snapshots is not None and device_id in snapshots:
+                snapshot = snapshots[device_id]
+            else:
+                snapshot = capture_calibration_state(self.fleet.get(device_id).qmodel)
             self.store.init_device_round(
                 round_id,
                 device_id,
@@ -346,10 +403,20 @@ class FleetService:
         )
 
     def resume(self, pools: Mapping[str, Dataset]) -> List[RoundOutcome]:
-        """Drain every unfinished round in the store (crash-recovery entry)."""
-        return [
-            self.drain(round_id, pools) for round_id in self.store.unfinished_rounds()
-        ]
+        """Drain every unfinished round in the store (crash-recovery entry).
+
+        A round with no device rows is a submit interrupted between
+        ``create_round`` and the first ``init_device_round`` (possible when
+        the writer daemon dies mid-submit): there is nothing to resume, so
+        it is closed out rather than drained.
+        """
+        outcomes: List[RoundOutcome] = []
+        for round_id in self.store.unfinished_rounds():
+            if not self.store.device_rounds(round_id):
+                self.store.set_round_status(round_id, "done")
+                continue
+            outcomes.append(self.drain(round_id, pools))
+        return outcomes
 
     # ------------------------------------------------------------------- drain
     def drain(self, round_id: int, pools: Mapping[str, Dataset]) -> RoundOutcome:
@@ -390,6 +457,7 @@ class FleetService:
                 restore_calibration_state(deployment.qmodel, row.result_state)
                 outcome.stats[row.device_id] = row.stats
                 outcome.statuses[row.device_id] = "done"
+                outcome.result_states[row.device_id] = row.result_state
                 outcome.resumed_devices += 1
             elif row.status == "quarantined":
                 outcome.statuses[row.device_id] = "quarantined"
@@ -501,6 +569,7 @@ class FleetService:
             self.store.mark_done(round_id, device_id, result_state, stats)
             outcome.stats[device_id] = stats
             outcome.statuses[device_id] = "done"
+            outcome.result_states[device_id] = result_state
 
     def _fail_group(self, round_id: int, group: _Group, error: str) -> None:
         for device_id in group.member_ids:

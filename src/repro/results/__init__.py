@@ -36,6 +36,7 @@ from repro.results.store import (
     DigestConflictError,
     DigestRecord,
     MergeStats,
+    PruneStats,
     ResultsStore,
     RunRecord,
     StoreError,
@@ -53,6 +54,7 @@ __all__ = [
     "DigestRecord",
     "GOLDEN_DIGEST_KIND",
     "MergeStats",
+    "PruneStats",
     "REPORT_PSEUDO_BENCHMARK",
     "RegressionVerdict",
     "ResultsStore",

@@ -1,5 +1,6 @@
-"""Shared utilities: seeding, timing, serialization and validation helpers."""
+"""Shared utilities: seeding, timing, env knobs and validation helpers."""
 
+from repro.utils.env import env_float, env_int
 from repro.utils.seeding import seeded_rng, spawn_rngs
 from repro.utils.timing import Timer
 from repro.utils.validation import (
@@ -9,6 +10,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "env_float",
+    "env_int",
     "seeded_rng",
     "spawn_rngs",
     "Timer",

@@ -1,0 +1,277 @@
+"""Single-writer store daemon: framing, journal, replay, remote service.
+
+Coverage in three tiers: the wire/journal primitives in isolation
+(length-prefixed frames over a socketpair, CRC-checked journal records with a
+torn tail), the store's idempotent journaled-apply, and the real thing — a
+daemon subprocess serving a :class:`StoreClient`, including a planted
+``writer_crash`` between journal fsync and store apply whose journaled
+command must be applied by replay on the next startup.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QCoreFramework
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.data.dataset import Dataset
+from repro.fleet import (
+    Fleet,
+    FleetService,
+    ProtocolError,
+    RetryPolicy,
+    StoreClient,
+    StoreError,
+    spawn_store_daemon,
+)
+from repro.fleet.protocol import (
+    MAX_FRAME_BYTES,
+    append_journal_record,
+    journal_tail_offset,
+    read_journal,
+    recv_frame,
+    send_frame,
+)
+from repro.fleet.store import DeviceStateStore
+from repro.models.mlp import MLPClassifier
+
+pytestmark = pytest.mark.timeout(300)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+# --------------------------------------------------------------- wire frames
+class TestFrames:
+    def test_round_trip_is_byte_exact(self):
+        left, right = socket.socketpair()
+        try:
+            payload = {"codes": np.arange(32, dtype=np.int64), "tag": "x" * 100}
+            send_frame(left, payload)
+            received = recv_frame(right)
+            assert received["tag"] == payload["tag"]
+            np.testing.assert_array_equal(received["codes"], payload["codes"])
+        finally:
+            left.close()
+            right.close()
+
+    def test_closed_between_frames_is_eof(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_closed_mid_frame_is_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            # A header promising 100 bytes, then the peer dies.
+            left.sendall(struct.pack("!I", 100) + b"only-sixteen-byt")
+            left.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_implausible_length_word_is_protocol_error(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+# ------------------------------------------------------------------- journal
+class TestJournal:
+    def test_records_survive_and_torn_tail_is_dropped(self, tmp_path):
+        journal = tmp_path / "journal.bin"
+        records = [(1, "register_device", ("device-0",), {}),
+                   (2, "quarantine_device", ("device-0", "boom"), {})]
+        with open(journal, "ab") as fh:
+            for record in records:
+                append_journal_record(fh, record)
+        assert read_journal(journal) == records
+
+        # A crash mid-append: a header plus half a payload.
+        intact_size = journal.stat().st_size
+        payload = pickle.dumps((3, "release_device", ("device-0",), {}))
+        with open(journal, "ab") as fh:
+            fh.write(struct.pack("!II", len(payload), 0) + payload[: len(payload) // 2])
+        assert read_journal(journal) == records
+        assert journal_tail_offset(journal) == (2, intact_size)
+
+    def test_corrupt_checksum_ends_the_scan(self, tmp_path):
+        journal = tmp_path / "journal.bin"
+        with open(journal, "ab") as fh:
+            append_journal_record(fh, (1, "register_device", ("device-0",), {}))
+            payload = pickle.dumps((2, "register_device", ("device-1",), {}))
+            fh.write(struct.pack("!II", len(payload), 0xDEADBEEF) + payload)
+            # A record *after* the corruption must not resurrect the scan.
+            append_journal_record(fh, (3, "register_device", ("device-2",), {}))
+        assert read_journal(journal) == [(1, "register_device", ("device-0",), {})]
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert read_journal(tmp_path / "absent.bin") == []
+        assert journal_tail_offset(tmp_path / "absent.bin") == (0, 0)
+
+
+# -------------------------------------------------------- idempotent applies
+class TestApplyJournaled:
+    def test_replaying_an_applied_seq_is_a_no_op(self, tmp_path):
+        store = DeviceStateStore(tmp_path / "store.sqlite")
+        applied, _ = store.apply_journaled(1, "register_device", ("device-0",))
+        assert applied
+        applied, _ = store.apply_journaled(
+            2, "quarantine_device", ("device-0", "first")
+        )
+        assert applied
+        # Replay of seq 2 with different args must be skipped, not re-applied.
+        applied, _ = store.apply_journaled(
+            2, "quarantine_device", ("device-0", "second")
+        )
+        assert not applied
+        assert store.quarantined_devices()["device-0"] == "first"
+        assert store.applied_journal_seq() == 2
+        store.close()
+
+
+# --------------------------------------------------------- daemon subprocess
+@pytest.fixture
+def daemon_paths(tmp_path):
+    return tmp_path / "store.sqlite", tmp_path / "store.sock", tmp_path / "journal.bin"
+
+
+class TestDaemon:
+    def test_round_trip_and_typed_errors(self, daemon_paths):
+        store_path, socket_path, journal_path = daemon_paths
+        daemon = spawn_store_daemon(store_path, socket_path, journal_path)
+        try:
+            with StoreClient(socket_path) as client:
+                client.register_device("device-0")
+                client.quarantine_device("device-0", "flaky")
+                assert client.quarantined_devices() == {"device-0": "flaky"}
+                client.release_device("device-0")
+                assert client.quarantined_devices() == {}
+                client.set_meta("note", "hello")
+                assert client.get_meta("note") == "hello"
+                # Store API errors re-raise with their original type.
+                with pytest.raises(KeyError):
+                    client.get_round(999)
+                # Anything off the command allow-list is refused, typed.
+                with pytest.raises(StoreError, match="disallowed"):
+                    client._call("close")
+        finally:
+            with StoreClient(socket_path) as shutdown:
+                shutdown.shutdown_daemon()
+            assert daemon.wait(timeout=60) == 0
+
+    def test_service_over_client_matches_local_store(self, daemon_paths, packaged):
+        """One calibration round over the socket == the same round against a
+        local in-process store, bit for bit."""
+        store_path, socket_path, journal_path = daemon_paths
+        deployment, target = packaged
+
+        def pools(fleet):
+            return {
+                device_id: target.subset(np.arange(k * 5, k * 5 + 8) % len(target))
+                for k, device_id in enumerate(fleet.ids)
+            }
+
+        local_fleet = Fleet.replicate(deployment, 3, seed=0)
+        local = FleetService(local_fleet, retry_policy=FAST_RETRY)
+        local.drain(local.submit(pools(local_fleet)), pools(local_fleet))
+
+        daemon = spawn_store_daemon(store_path, socket_path, journal_path)
+        try:
+            client = StoreClient(socket_path)
+            remote_fleet = Fleet.replicate(deployment, 3, seed=0)
+            remote = FleetService(remote_fleet, store=client, retry_policy=FAST_RETRY)
+            outcome = remote.drain(
+                remote.submit(pools(remote_fleet)), pools(remote_fleet)
+            )
+            assert outcome.calibrated_devices == 3
+            assert remote_fleet.codes_digests() == local_fleet.codes_digests()
+        finally:
+            with StoreClient(socket_path) as shutdown:
+                shutdown.shutdown_daemon()
+            assert daemon.wait(timeout=60) == 0
+
+    def test_writer_crash_after_journal_replays_on_restart(self, daemon_paths):
+        store_path, socket_path, journal_path = daemon_paths
+        daemon = spawn_store_daemon(
+            store_path, socket_path, journal_path,
+            crash_after="quarantine_device:1",
+        )
+        client = StoreClient(socket_path)
+        client.register_device("device-0")
+        # The crash window: journaled + fsynced, then os._exit before apply.
+        with pytest.raises(StoreError):
+            client.quarantine_device("device-0", "injected")
+        client.close()
+        assert daemon.wait(timeout=60) == 13
+        # The command is in the journal but NOT in the store.
+        records = read_journal(journal_path)
+        assert records[-1][1] == "quarantine_device"
+        direct = DeviceStateStore(store_path)
+        assert direct.quarantined_devices() == {}
+        direct.close()
+
+        # Restart: replay applies the journaled tail, then truncates it.
+        daemon = spawn_store_daemon(store_path, socket_path, journal_path)
+        try:
+            with StoreClient(socket_path) as fresh:
+                assert fresh.quarantined_devices() == {"device-0": "injected"}
+            assert journal_path.stat().st_size == 0
+        finally:
+            with StoreClient(socket_path) as shutdown:
+                shutdown.shutdown_daemon()
+            assert daemon.wait(timeout=60) == 0
+
+    def test_memory_store_refused(self, tmp_path):
+        from repro.fleet.daemon import StoreDaemon
+
+        with pytest.raises(ValueError, match="file-backed"):
+            StoreDaemon(":memory:", tmp_path / "s.sock", tmp_path / "j.bin")
+
+
+TINY_TS = SyntheticTimeSeriesConfig(
+    num_classes=3, num_domains=2, channels=3, length=12,
+    train_per_class=8, val_per_class=1, test_per_class=3,
+)
+
+
+def _flatten(dataset: Dataset) -> Dataset:
+    return Dataset(
+        dataset.features.reshape(len(dataset), -1),
+        dataset.labels,
+        dataset.num_classes,
+        name=dataset.name,
+    )
+
+
+@pytest.fixture(scope="module")
+def packaged():
+    data = make_dsa_surrogate(seed=0, config=TINY_TS)
+    source = _flatten(data[data.domain_names[0]].train)
+    target = _flatten(data[data.domain_names[1]].train)
+    model = MLPClassifier(
+        source.features.shape[1], TINY_TS.num_classes,
+        hidden=(16,), rng=np.random.default_rng(0),
+    )
+    framework = QCoreFramework(
+        levels=(4,), qcore_size=16, train_epochs=2, calibration_epochs=3,
+        edge_calibration_epochs=2, seed=0,
+    )
+    framework.fit(model, source)
+    deployment = framework.deploy(bits=4)
+    deployment.calibrator.batchnorm_refresh_passes = 1
+    return deployment, target

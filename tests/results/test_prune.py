@@ -1,0 +1,134 @@
+"""Retention tests: prune keeps the newest N, never touches protected rows.
+
+The store accumulates one run per benchmark per CI push forever unless
+pruned; ``ResultsStore.prune`` is the retention tool.  Its contract has two
+halves pinned here: age-based deletion (newest ``keep_last_per_benchmark``
+per benchmark survive) and absolute protection — labeled trajectory runs,
+runs referenced by a pinned digest, and every pinned golden digest row
+survive *regardless* of age.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.results import PruneStats, ResultsStore
+
+
+def _stamp(index: int) -> str:
+    """Monotonic fake timestamps so insertion order is also age order."""
+    return f"2026-01-{index + 1:02d}T00:00:00Z"
+
+
+def _fill(store: ResultsStore, benchmark: str, count: int, **kwargs) -> list:
+    return [
+        store.record_run(
+            benchmark,
+            metrics={"speedup": 1.0 + index},
+            config={"index": index},
+            timestamp=_stamp(index),
+            digests={f"{benchmark}_codes_{index}": f"digest-{index:04d}"},
+            **kwargs,
+        )
+        for index in range(count)
+    ]
+
+
+class TestPrune:
+    def test_keeps_newest_per_benchmark(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        _fill(store, "bench_a", 6)
+        _fill(store, "bench_b", 3)
+        stats = store.prune(2)
+        assert isinstance(stats, PruneStats)
+        assert stats.runs_deleted == 4 + 1
+        assert stats.runs_kept == 2 + 2
+        # The survivors are the newest ones of each benchmark.
+        for benchmark, newest in (("bench_a", {4, 5}), ("bench_b", {1, 2})):
+            kept = {
+                run.timestamp for run in store.runs(benchmark=benchmark)
+            }
+            assert kept == {_stamp(index) for index in newest}
+        store.close()
+
+    def test_labeled_runs_are_protected(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        run_ids = _fill(store, "bench_a", 5)
+        store.set_annotations(run_ids[0], label="PR 3", lever="the oldest milestone")
+        stats = store.prune(1)
+        assert stats.runs_protected == 1
+        assert stats.runs_deleted == 3
+        survivors = {run.run_id for run in store.runs(benchmark="bench_a")}
+        assert run_ids[0] in survivors  # oldest, but labeled
+        assert run_ids[4] in survivors  # newest
+        store.close()
+
+    def test_pinned_golden_digests_are_never_pruned(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        run_ids = _fill(store, "bench_a", 5)
+        store.pin_digest("bench_a_codes", "golden-digest-value")
+        # Pin a digest that *references* an old run: that run becomes
+        # undeletable too (the digest row would otherwise dangle).
+        store.connection.execute(
+            "UPDATE digests SET pinned = 1 WHERE run_id = ?", (run_ids[1],)
+        )
+        store.connection.commit()
+
+        stats = store.prune(1)
+        assert stats.runs_protected == 1
+        pinned = store.pinned_digests()
+        assert pinned["bench_a_codes"] == "golden-digest-value"
+        assert any(name.endswith("_codes_1") for name in pinned)
+        survivors = {run.run_id for run in store.runs(benchmark="bench_a")}
+        assert run_ids[1] in survivors
+        # The doomed runs' unpinned provenance digest rows went with them.
+        remaining = {record.name for record in store.digest_records()}
+        assert "bench_a_codes_0" not in remaining
+        assert "bench_a_codes_1" in remaining
+        store.close()
+
+    def test_vacuum_reclaims_disk(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = ResultsStore(path)
+        _fill(store, "bench_a", 200)
+        store.close()
+        before = path.stat().st_size
+        store = ResultsStore(path)
+        stats = store.prune(1, vacuum=True)
+        store.close()
+        assert stats.vacuumed
+        assert path.stat().st_size < before
+
+    def test_keep_must_be_positive(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        with pytest.raises(ValueError, match="keep_last_per_benchmark"):
+            store.prune(0)
+        store.close()
+
+    def test_prune_on_empty_store_is_a_no_op(self, tmp_path):
+        store = ResultsStore(tmp_path / "store.sqlite")
+        stats = store.prune(3)
+        assert stats.runs_deleted == 0
+        assert stats.runs_kept == 0
+        store.close()
+
+
+class TestPruneCli:
+    def test_perf_report_prune_command(self, tmp_path, capsys):
+        from tools.perf_report import main
+
+        path = tmp_path / "store.sqlite"
+        store = ResultsStore(path)
+        _fill(store, "bench_a", 5)
+        store.pin_digest("bench_a_codes", "golden")
+        store.close()
+
+        assert main(["prune", "--store", str(path), "--keep", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 3 run(s)" in out
+        assert "kept 2" in out
+
+        store = ResultsStore(path)
+        assert len(store.runs(benchmark="bench_a")) == 2
+        assert store.pinned_digests() == {"bench_a_codes": "golden"}
+        store.close()

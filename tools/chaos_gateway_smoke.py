@@ -1,0 +1,279 @@
+"""CI gateway chaos smoke: kill -9 the store daemon + stall a device, for real.
+
+The gateway tentpole makes two hard promises that unit tests can only
+simulate: a **writer crash** loses no acknowledged state (the fsynced command
+journal replays on restart), and a **stalled device** is absorbed — requeued
+once, then quarantined — without perturbing any other device's calibration by
+a single bit.  This smoke performs both against real processes:
+
+1. Golden: four calibration waves through the plain
+   :class:`~repro.fleet.calibrator.FleetCalibrator` — no gateway, no store.
+2. A store daemon is spawned with a planted ``writer_crash`` fault that
+   ``os._exit(13)``'s on the first ``mark_done`` of round two — *after* the
+   command hit the journal, *before* it hit the store.  Waves one and two run
+   through a :class:`FleetGateway` over a :class:`StoreClient`; the daemon
+   dies mid-round-two and the client surfaces ``StoreError``.
+3. A fresh daemon replays the journal (the smoke asserts the journaled
+   ``mark_done`` is now applied), and ``FleetService.resume`` completes round
+   two bit-identically.
+4. A fresh gateway runs wave three, during which one device goes silent after
+   delivering its report: its lease expires, the report is requeued exactly
+   once, then the device is quarantined through the store.  Wave four runs
+   with the survivors; the quarantined device's late report is rejected.
+5. Every surviving device's integer-code digest must equal the golden run's.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_gateway_smoke.py
+
+Exits non-zero with a diagnostic on any mismatch; prints a one-line summary
+on success.  Run time is a few seconds — it is wired into CI next to the
+crash-recovery smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import runtime
+from repro.core.pipeline import QCoreFramework
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.data.dataset import Dataset
+from repro.fleet import (
+    Fleet,
+    FleetCalibrator,
+    FleetService,
+    RetryPolicy,
+    StoreClient,
+    StoreError,
+    spawn_store_daemon,
+)
+from repro.fleet.gateway import (
+    BackpressurePolicy,
+    DeviceReport,
+    FleetGateway,
+    GatewayConfig,
+    ManualClock,
+    Rejected,
+)
+
+CRASH_EXIT_CODE = 13
+DEVICES = 3
+WAVES = 4
+STALLED = "device-1"
+SEED = 0
+LEASE_S = 5.0
+RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+def _flatten(dataset: Dataset) -> Dataset:
+    return Dataset(
+        dataset.features.reshape(len(dataset), -1),
+        dataset.labels,
+        dataset.num_classes,
+        name=dataset.name,
+    )
+
+
+def _build_fleet():
+    """Deterministic tiny fleet — identical every time it is built."""
+    ts = SyntheticTimeSeriesConfig(
+        num_classes=3, num_domains=2, channels=3, length=12,
+        train_per_class=8, val_per_class=1, test_per_class=3,
+    )
+    data = make_dsa_surrogate(seed=SEED, config=ts)
+    source = _flatten(data[data.domain_names[0]].train)
+    target = _flatten(data[data.domain_names[1]].train)
+    from repro.models.mlp import MLPClassifier
+
+    model = MLPClassifier(
+        source.features.shape[1], ts.num_classes,
+        hidden=(16,), rng=np.random.default_rng(SEED),
+    )
+    framework = QCoreFramework(
+        levels=(4,), qcore_size=16, train_epochs=2, calibration_epochs=3,
+        edge_calibration_epochs=2, seed=SEED,
+    )
+    framework.fit(model, source)
+    deployment = framework.deploy(bits=4)
+    deployment.calibrator.batchnorm_refresh_passes = 1
+    fleet = Fleet.replicate(deployment, DEVICES, seed=SEED)
+    return fleet, target
+
+
+def _wave_pools(target: Dataset, device_ids, wave: int):
+    """Distinct pool per device per wave (every device its own dedupe group)."""
+    return {
+        device_id: target.subset(
+            np.arange(wave * 11 + k * 5, wave * 11 + k * 5 + 8) % len(target)
+        )
+        for k, device_id in enumerate(device_ids)
+    }
+
+
+def _gateway(fleet: Fleet, client: StoreClient, clock: ManualClock) -> FleetGateway:
+    config = GatewayConfig(lease_s=LEASE_S, queue_max=16, max_batch=DEVICES)
+    return FleetGateway(
+        fleet,
+        store=client,
+        retry_policy=RETRY,
+        config=config,
+        policy=BackpressurePolicy(queue_max=16, defer_watermark=1.0),
+        clock=clock,
+    )
+
+
+def _offer_wave(gateway: FleetGateway, target: Dataset, wave: int, device_ids):
+    pools = _wave_pools(target, gateway.fleet.ids, wave)
+    for device_id in device_ids:
+        admission = gateway.offer(
+            DeviceReport(device_id=device_id, seq=wave, pool=pools[device_id])
+        )
+        if isinstance(admission, Rejected):
+            raise AssertionError(
+                f"wave {wave}: {device_id} unexpectedly rejected: {admission.reason}"
+            )
+
+
+def run_smoke(workdir: Path) -> int:
+    store_path = workdir / "fleet_state.sqlite"
+    socket_path = workdir / "store.sock"
+    journal_path = workdir / "journal.bin"
+
+    with runtime.use_dtype(np.float64):
+        # ---------------------------------------------------------- golden
+        fleet, target = _build_fleet()
+        golden = Fleet({device_id: dep.clone() for device_id, dep in fleet.items()})
+        calibrator = FleetCalibrator()
+        for wave in range(WAVES):
+            calibrator.calibrate(golden, _wave_pools(target, golden.ids, wave))
+        golden_digests = golden.codes_digests()
+
+        # ------------------------------------------- phase A: crash mid-wave-2
+        # Rounds have DEVICES mark_done calls each, so the (DEVICES+1)-th
+        # overall is the first of round two: journaled, then the lights go out.
+        daemon = spawn_store_daemon(
+            store_path, socket_path, journal_path,
+            crash_after=f"mark_done:{DEVICES + 1}",
+        )
+        client = StoreClient(socket_path)
+        fleet_a, _ = _build_fleet()
+        clock = ManualClock()
+        gateway = _gateway(fleet_a, client, clock)
+        _offer_wave(gateway, target, 0, fleet_a.ids)
+        gateway.pump()
+        crashed = False
+        try:
+            _offer_wave(gateway, target, 1, fleet_a.ids)
+            gateway.pump()
+        except StoreError:
+            crashed = True
+        daemon.wait(timeout=60)
+        client.close()
+        if not crashed:
+            print("daemon crash never surfaced as StoreError — nothing was proven")
+            return 1
+        if daemon.returncode != CRASH_EXIT_CODE:
+            print("daemon did not die with the injected crash exit code "
+                  f"({daemon.returncode} != {CRASH_EXIT_CODE})")
+            return 1
+
+        # --------------------------------- phase B: replay journal and resume
+        daemon = spawn_store_daemon(store_path, socket_path, journal_path)
+        try:
+            client = StoreClient(socket_path)
+            round_two = client.unfinished_rounds()
+            if len(round_two) != 1:
+                print(f"expected exactly one interrupted round, found {round_two}")
+                return 1
+            statuses = {r.device_id: r.status for r in client.device_rounds(round_two[0])}
+            if "done" not in statuses.values():
+                print("journal replay failed: the journaled mark_done was not "
+                      f"applied on restart (statuses: {statuses})")
+                return 1
+            fleet_b, _ = _build_fleet()
+            service = FleetService(fleet_b, store=client, retry_policy=RETRY)
+            outcomes = service.resume(_wave_pools(target, fleet_b.ids, 1))
+            if sum(o.resumed_devices for o in outcomes) == 0:
+                print("resume touched no interrupted devices — nothing recovered")
+                return 1
+
+            # ------------------------- phase C: stall a device mid-stream
+            clock = ManualClock(start=100.0)
+            gateway = _gateway(fleet_b, client, clock)
+            # Wave 3 delivered by everyone — then STALLED goes silent.
+            _offer_wave(gateway, target, 2, fleet_b.ids)
+            clock.advance(LEASE_S + 1.0)
+            for device_id in fleet_b.ids:
+                if device_id != STALLED:
+                    gateway.heartbeat(device_id)
+            gateway.pump()
+            if gateway.stats.requeued != 1:
+                print(f"expected the stalled report requeued exactly once, "
+                      f"got {gateway.stats.requeued}")
+                return 1
+            quarantined = client.quarantined_devices()
+            if STALLED not in quarantined:
+                print(f"stalled device not quarantined through the store "
+                      f"(quarantined: {sorted(quarantined)})")
+                return 1
+            # Wave 4: survivors only; the dead device's late report bounces.
+            survivors = [d for d in fleet_b.ids if d != STALLED]
+            _offer_wave(gateway, target, 3, survivors)
+            late = gateway.offer(DeviceReport(
+                device_id=STALLED, seq=3,
+                pool=_wave_pools(target, fleet_b.ids, 3)[STALLED],
+            ))
+            if not isinstance(late, Rejected):
+                print(f"quarantined device's report was not rejected: {late}")
+                return 1
+            for device_id in survivors:
+                gateway.heartbeat(device_id)
+            gateway.pump()
+            recovered_digests = fleet_b.codes_digests()
+        finally:
+            shutdown = StoreClient(socket_path)
+            shutdown.shutdown_daemon()
+            shutdown.close()
+            daemon.wait(timeout=60)
+
+    diverged = sorted(
+        device_id for device_id in golden_digests
+        if device_id != STALLED
+        and recovered_digests.get(device_id) != golden_digests[device_id]
+    )
+    if diverged:
+        print("gateway chaos FAILED: surviving devices diverged from the "
+              f"fault-free golden run: {diverged}")
+        return 1
+
+    print(
+        f"gateway chaos smoke ok: daemon killed mid-round (exit {CRASH_EXIT_CODE}), "
+        f"journal replayed + round resumed, {STALLED!r} stalled -> requeued once -> "
+        f"quarantined, all {len(golden_digests) - 1} survivors bit-identical to the "
+        "golden run at float64"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default=None,
+                        help="directory for the store/socket/journal (default: temp)")
+    args = parser.parse_args()
+    if args.workdir:
+        return run_smoke(Path(args.workdir))
+    with tempfile.TemporaryDirectory() as tmp:
+        return run_smoke(Path(tmp))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

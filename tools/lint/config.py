@@ -28,7 +28,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 #: strictly lower layers only; same-layer and upward imports are findings.
 #: Sub-packages not named here inherit their parent's layer, except
 #: ``repro.nn.kernels`` which is deliberately *below* ``repro.nn`` (the
-#: compute backends must never reach back into the layer API).
+#: compute backends must never reach back into the layer API) and
+#: ``repro.fleet.gateway`` which is deliberately *above* ``repro.fleet``
+#: (the ingestion front end orchestrates the service/store tier; nothing in
+#: the tier may reach up into the gateway).
 LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("repro.utils",),
     ("repro.runtime",),
@@ -41,6 +44,7 @@ LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("repro.eval",),
     ("repro.results",),
     ("repro.fleet",),
+    ("repro.fleet.gateway",),
 )
 
 #: Module-to-module import edges exempted from the DAG, with the reason the
@@ -76,6 +80,8 @@ def package_of(module: str) -> Optional[str]:
     parts = module.split(".")
     if len(parts) >= 3 and parts[1] == "nn" and parts[2] == "kernels":
         return "repro.nn.kernels"
+    if len(parts) >= 3 and parts[1] == "fleet" and parts[2] == "gateway":
+        return "repro.fleet.gateway"
     if len(parts) >= 2:
         return ".".join(parts[:2])
     return "repro"
@@ -176,6 +182,23 @@ POOL_PARENT_SIDE_KEYWORDS: FrozenSet[str] = frozenset({"describe"})
 STORE_ALLOWED_FILES: FrozenSet[str] = frozenset(
     {"src/repro/fleet/store.py", "src/repro/results/store.py"}
 )
+
+
+# --------------------------------------------------------------------------
+# bounded-queue rule
+# --------------------------------------------------------------------------
+
+#: ``queue``-module constructors that take ``maxsize`` as the first argument.
+#: In library code (:data:`LIBRARY_PATH_PREFIXES`) every construction must
+#: pass an explicit positive bound — an unbounded in-process buffer hides
+#: overload until memory does the load shedding.
+QUEUE_MAXSIZE_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {"Queue", "LifoQueue", "PriorityQueue", "JoinableQueue"}
+)
+
+#: Constructors with *no* capacity parameter at all; always a finding in
+#: library code (use a bounded ``Queue`` instead).
+QUEUE_UNBOUNDABLE_CONSTRUCTORS: FrozenSet[str] = frozenset({"SimpleQueue"})
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,21 @@
+# lint-fixture: path=src/repro/eval/_queue_fixture.py
+# lint-fixture-expect: bounded-queue
+"""Seeded violations: unbounded in-process buffers in library code."""
+
+import collections
+import multiprocessing
+import queue
+from collections import deque
+from queue import SimpleQueue
+
+
+def build_buffers(mp_context):
+    """Six findings: every way to construct a buffer with no hard bound."""
+    a = queue.Queue()  # no maxsize at all
+    b = queue.Queue(0)  # explicit maxsize=0 means infinite
+    c = collections.deque()  # no maxlen
+    d = deque([], None)  # positional maxlen=None means infinite
+    e = SimpleQueue()  # cannot be bounded, ever
+    f = mp_context.JoinableQueue()  # attribute construction, still unbounded
+    g = multiprocessing.Queue(maxsize=0)  # keyword zero is still infinite
+    return a, b, c, d, e, f, g

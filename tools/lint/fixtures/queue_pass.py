@@ -1,0 +1,17 @@
+# lint-fixture: path=src/repro/eval/_queue_fixture.py
+"""Clean sibling: every buffer carries an explicit hard bound."""
+
+import collections
+import queue
+from collections import deque
+
+
+def build_buffers(mp_context, capacity):
+    """Bounds may be literals or configuration values — just explicit."""
+    a = queue.Queue(maxsize=64)
+    b = queue.Queue(16)  # positional maxsize is a bound too
+    c = collections.deque(maxlen=8)
+    d = deque([1, 2, 3], 4)  # positional maxlen
+    e = queue.PriorityQueue(maxsize=capacity)  # non-literal bound: a choice
+    f = mp_context.JoinableQueue(capacity)
+    return a, b, c, d, e, f

@@ -11,6 +11,7 @@ from tools.lint.rules import (  # noqa: F401  (imported for registration side ef
     excepts,
     layering,
     pool,
+    queues,
     rng,
     store,
 )

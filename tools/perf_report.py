@@ -60,7 +60,12 @@ GATED_BENCHMARKS: Dict[str, str] = {
 }
 
 #: Metric shown in the trajectory table per benchmark (default: speedup).
-HEADLINE_METRICS: Dict[str, str] = {"fleet_service": "durability_overhead"}
+#: ``fleet_gateway``, like ``fleet_service``, records an overhead ratio and
+#: is therefore recorded-but-not-gated.
+HEADLINE_METRICS: Dict[str, str] = {
+    "fleet_service": "durability_overhead",
+    "fleet_gateway": "gateway_overhead",
+}
 
 #: One-time seed of the pre-store era, transcribed from docs/performance.md
 #: and CHANGES.md: (label, benchmark, metric, value, lever).  Timestamps are
@@ -325,6 +330,20 @@ def cmd_verify_migration(store_path: Path) -> int:
     return 0
 
 
+def cmd_prune(store_path: Path, keep: int) -> int:
+    """Prune old unprotected runs, keeping the newest ``keep`` per benchmark."""
+    before = store_path.stat().st_size if store_path.exists() else 0
+    with ResultsStore(store_path) as store:
+        stats = store.prune(keep)
+    after = store_path.stat().st_size if store_path.exists() else 0
+    print(
+        f"pruned {stats.runs_deleted} run(s) (+{stats.digests_deleted} provenance "
+        f"digest row(s)); kept {stats.runs_kept}, protected {stats.runs_protected} "
+        f"(labeled/pinned); {before} -> {after} bytes on disk"
+    )
+    return 0
+
+
 def cmd_label(
     store_path: Path, label: str, lever: str, benchmarks: Optional[Sequence[str]]
 ) -> int:
@@ -357,7 +376,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "command", nargs="?", default="trajectory",
         choices=(
             "trajectory", "write-docs", "check-docs", "check-regression",
-            "selfcheck", "ingest-legacy", "verify-migration", "label",
+            "selfcheck", "ingest-legacy", "verify-migration", "label", "prune",
         ),
     )
     parser.add_argument("--store", type=Path, default=STORE_PATH,
@@ -370,6 +389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="latest must reach tolerance * trailing median")
     parser.add_argument("--label", default="", help="PR label for the label command")
     parser.add_argument("--lever", default="", help="lever text for the label command")
+    parser.add_argument("--keep", type=int, default=10,
+                        help="runs kept per benchmark by the prune command")
     args = parser.parse_args(argv)
 
     if args.command == "trajectory":
@@ -386,6 +407,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_ingest_legacy(args.store)
     if args.command == "verify-migration":
         return cmd_verify_migration(args.store)
+    if args.command == "prune":
+        return cmd_prune(args.store, args.keep)
     return cmd_label(args.store, args.label, args.lever, args.benchmarks)
 
 
