@@ -1,0 +1,370 @@
+"""The built-in drift-zoo families.
+
+Every builder here is a pure function of ``(dataset, spec)``: all of its
+randomness derives from ``spec.seed`` through either ``seeded_rng`` (for the
+paper-protocol family, matching ``ContinualEvaluator`` stream for stream) or
+``spawn_rngs(spec.seed, 3)`` — a fixed-order ``(train, test, aux)`` triple of
+independent child generators.  Train shuffles only ever consume the train
+child and test shuffles the test child, so the test slice batch ``i`` is
+scored on depends on the seed alone — never on the train split's size or on
+how many values the train shuffle drew (the PR 2 bug class, held off by the
+conformance suite in ``tests/data/test_scenario_properties.py``).
+
+Families that stream from several domains spawn one grandchild per domain
+from the relevant child, so each domain's shuffle is also independent of the
+other domains' sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset, DomainDataset, MultiDomainDataset
+from repro.data.scenarios.registry import register_family
+from repro.data.scenarios.spec import ScenarioSpec
+from repro.data.streams import (
+    StreamBatch,
+    StreamScenario,
+    build_stream_scenario,
+    split_into_batches,
+)
+from repro.utils.seeding import seeded_rng, spawn_rngs
+
+
+def _assemble(
+    dataset: MultiDomainDataset,
+    spec: ScenarioSpec,
+    target_name: str,
+    train_parts: Sequence[Dataset],
+    test_parts: Sequence[Dataset],
+    target_test: Dataset,
+) -> StreamScenario:
+    """Zip train/test parts into a :class:`StreamScenario`."""
+    batches = [
+        StreamBatch(index=i, data=train_parts[i], test=test_parts[i])
+        for i in range(spec.num_batches)
+    ]
+    return StreamScenario(
+        dataset_name=dataset.name,
+        source=dataset[spec.source],
+        target_name=target_name,
+        batches=batches,
+        target_test=target_test,
+    )
+
+
+def _concat_tests(domains: Sequence[DomainDataset]) -> Dataset:
+    """Union of several domains' test splits, in first-appearance order."""
+    combined = domains[0].test
+    for domain in domains[1:]:
+        combined = combined.concat(domain.test)
+    return combined
+
+
+def _scheduled_parts(
+    dataset: MultiDomainDataset,
+    spec: ScenarioSpec,
+    assignment: Sequence[int],
+    rng: np.random.Generator,
+    split: str,
+) -> List[Dataset]:
+    """Build per-batch parts when batch ``i`` streams from ``targets[assignment[i]]``.
+
+    Each target domain's split is divided into exactly as many chunks as
+    the domain has scheduled batches, consumed in schedule order.  One
+    grandchild generator per domain keeps each domain's shuffle independent
+    of the others' sizes.
+    """
+    counts = [0] * len(spec.targets)
+    for j in assignment:
+        counts[j] += 1
+    children = rng.spawn(len(spec.targets))
+    parts_by_domain: List[List[Dataset]] = []
+    for j, target in enumerate(spec.targets):
+        if counts[j] == 0:
+            parts_by_domain.append([])
+            continue
+        data = getattr(dataset[target], split)
+        parts_by_domain.append(
+            split_into_batches(
+                data, counts[j], children[j],
+                label=f"{split} examples of target domain {target!r}",
+            )
+        )
+    cursors = [0] * len(spec.targets)
+    parts: List[Dataset] = []
+    for j in assignment:
+        parts.append(parts_by_domain[j][cursors[j]])
+        cursors[j] += 1
+    return parts
+
+
+def _mixed_parts(
+    source_split: Dataset,
+    target_split: Dataset,
+    spec: ScenarioSpec,
+    rng: np.random.Generator,
+    split: str,
+) -> List[Dataset]:
+    """Gradual-drift mixing: batch ``i`` is a seeded source/target blend.
+
+    Batch ``i`` (0-based) holds a fixed ``len(target_split) // num_batches``
+    examples of which a ``(i + 1) / num_batches`` fraction comes from the
+    target and the rest from the source — so the stream starts mostly
+    source-like and ends purely target.  Draws come without replacement
+    from one seeded permutation per side.
+    """
+    size = len(target_split) // spec.num_batches
+    if size < 1:
+        raise ValueError(
+            f"gradual drift needs at least num_batches={spec.num_batches} "
+            f"target {split} examples, got {len(target_split)}"
+        )
+    alphas = (np.arange(spec.num_batches, dtype=np.int64) + 1) / spec.num_batches
+    target_counts = np.round(alphas * size).astype(np.int64)
+    source_counts = size - target_counts
+    need_source = int(source_counts.sum())
+    if need_source > len(source_split):
+        raise ValueError(
+            f"gradual drift needs {need_source} source {split} examples "
+            f"for mixing, got {len(source_split)}"
+        )
+    source_rng, target_rng, order_rng = rng.spawn(3)
+    source_order = source_rng.permutation(len(source_split))
+    target_order = target_rng.permutation(len(target_split))
+    parts: List[Dataset] = []
+    source_cursor = target_cursor = 0
+    for i in range(spec.num_batches):
+        take_source = int(source_counts[i])
+        take_target = int(target_counts[i])
+        part = source_split.subset(
+            source_order[source_cursor:source_cursor + take_source]
+        )
+        if take_target:
+            chunk = target_split.subset(
+                target_order[target_cursor:target_cursor + take_target]
+            )
+            part = part.concat(chunk) if take_source else chunk
+        source_cursor += take_source
+        target_cursor += take_target
+        parts.append(part.shuffled(order_rng))
+    return parts
+
+
+@register_family(
+    "two_domain",
+    summary="The paper's source → target protocol, registry-addressable.",
+)
+def build_two_domain(dataset: MultiDomainDataset, spec: ScenarioSpec) -> StreamScenario:
+    """The paper's two-domain shift, seeded exactly like ``ContinualEvaluator``.
+
+    ``build_scenario`` on a ``two_domain`` spec reproduces
+    ``ContinualEvaluator(num_batches, seed).build_scenario(...)`` bit for
+    bit — pinned by a conformance test, so the zoo's baseline family can
+    never drift from the paper protocol.
+    """
+    return build_stream_scenario(
+        dataset, spec.source, spec.target,
+        num_batches=spec.num_batches, rng=seeded_rng(spec.seed),
+    )
+
+
+@register_family(
+    "gradual",
+    summary="Interpolated source/target mixing that ramps to pure target.",
+)
+def build_gradual(dataset: MultiDomainDataset, spec: ScenarioSpec) -> StreamScenario:
+    """Gradual drift: each batch blends source and target, ramping to target.
+
+    Train batches mix the domains' train splits and test slices mix their
+    test splits with the same ramp, so evaluation difficulty tracks the
+    drift.  ``target_test`` stays the pure target test set.
+    """
+    source = dataset[spec.source]
+    target = dataset[spec.target]
+    train_rng, test_rng, _ = spawn_rngs(spec.seed, 3)
+    train_parts = _mixed_parts(source.train, target.train, spec, train_rng, "train")
+    test_parts = _mixed_parts(source.test, target.test, spec, test_rng, "test")
+    return _assemble(
+        dataset, spec, f"gradual:{spec.target}", train_parts, test_parts, target.test
+    )
+
+
+@register_family(
+    "abrupt",
+    min_targets=2,
+    max_targets=2,
+    summary="Mid-stream switch from the first target domain to the second.",
+)
+def build_abrupt(dataset: MultiDomainDataset, spec: ScenarioSpec) -> StreamScenario:
+    """Abrupt drift: the stream switches domains at ``num_batches // 2``.
+
+    Batches before the switch stream from ``targets[0]``, the rest from
+    ``targets[1]``; each batch's test slice comes from the same domain as
+    its adaptation data, and ``target_test`` is the union of both targets'
+    test splits.
+    """
+    if spec.num_batches < 2:
+        raise ValueError("abrupt drift needs num_batches >= 2 to fit a switch")
+    switch = spec.num_batches // 2
+    assignment = [0 if i < switch else 1 for i in range(spec.num_batches)]
+    train_rng, test_rng, _ = spawn_rngs(spec.seed, 3)
+    train_parts = _scheduled_parts(dataset, spec, assignment, train_rng, "train")
+    test_parts = _scheduled_parts(dataset, spec, assignment, test_rng, "test")
+    name = f"abrupt:{spec.targets[0]}⇒{spec.targets[1]}"
+    target_test = _concat_tests([dataset[t] for t in spec.targets])
+    return _assemble(dataset, spec, name, train_parts, test_parts, target_test)
+
+
+@register_family(
+    "recurring",
+    min_targets=2,
+    max_targets=None,
+    summary="Cyclic revisits: batch i streams from targets[i % len(targets)].",
+)
+def build_recurring(dataset: MultiDomainDataset, spec: ScenarioSpec) -> StreamScenario:
+    """Recurring drift: the stream cycles through the targets repeatedly.
+
+    Each domain's train/test splits are divided across its revisits, so a
+    revisit brings *new* examples of a previously seen domain — the
+    forgetting probe.  ``target_test`` is the union of all targets' tests.
+    """
+    cycle = len(spec.targets)
+    if spec.num_batches < cycle:
+        raise ValueError(
+            f"recurring drift needs num_batches >= {cycle} (one batch per "
+            f"target), got {spec.num_batches}"
+        )
+    assignment = [i % cycle for i in range(spec.num_batches)]
+    train_rng, test_rng, _ = spawn_rngs(spec.seed, 3)
+    train_parts = _scheduled_parts(dataset, spec, assignment, train_rng, "train")
+    test_parts = _scheduled_parts(dataset, spec, assignment, test_rng, "test")
+    name = "recurring:" + "⇄".join(spec.targets)
+    target_test = _concat_tests([dataset[t] for t in spec.targets])
+    return _assemble(dataset, spec, name, train_parts, test_parts, target_test)
+
+
+@register_family(
+    "domain_incremental",
+    min_targets=2,
+    max_targets=None,
+    summary="Contiguous blocks of batches, one block per target domain.",
+)
+def build_domain_incremental(
+    dataset: MultiDomainDataset, spec: ScenarioSpec
+) -> StreamScenario:
+    """Domain-incremental drift: targets arrive as contiguous batch blocks.
+
+    ``np.array_split`` over the batch indices assigns each target a block
+    (leading blocks take the remainder), so with 10 batches and 2 targets
+    the first five stream from ``targets[0]`` and the rest from
+    ``targets[1]``.
+    """
+    if spec.num_batches < len(spec.targets):
+        raise ValueError(
+            f"domain-incremental drift needs num_batches >= "
+            f"{len(spec.targets)} (one block per target), got {spec.num_batches}"
+        )
+    blocks = np.array_split(np.arange(spec.num_batches), len(spec.targets))
+    assignment = [0] * spec.num_batches
+    for j, block in enumerate(blocks):
+        for i in block:
+            assignment[int(i)] = j
+    train_rng, test_rng, _ = spawn_rngs(spec.seed, 3)
+    train_parts = _scheduled_parts(dataset, spec, assignment, train_rng, "train")
+    test_parts = _scheduled_parts(dataset, spec, assignment, test_rng, "test")
+    name = "domain-inc:" + "→".join(spec.targets)
+    target_test = _concat_tests([dataset[t] for t in spec.targets])
+    return _assemble(dataset, spec, name, train_parts, test_parts, target_test)
+
+
+@register_family(
+    "class_incremental",
+    summary="A seeded class permutation arrives one group per batch.",
+)
+def build_class_incremental(
+    dataset: MultiDomainDataset, spec: ScenarioSpec
+) -> StreamScenario:
+    """Class-incremental drift on one target: batch ``i`` introduces new classes.
+
+    The aux child generator permutes the label space once; the permutation
+    is split into ``num_batches`` groups and batch ``i`` holds exactly the
+    target examples of group ``i`` (train and test alike), shuffled by the
+    train/test children.  Requires ``num_classes >= num_batches``.
+    """
+    target = dataset[spec.target]
+    if dataset.num_classes < spec.num_batches:
+        raise ValueError(
+            f"class-incremental drift needs num_classes >= num_batches, "
+            f"got {dataset.num_classes} classes for {spec.num_batches} batches"
+        )
+    train_rng, test_rng, aux_rng = spawn_rngs(spec.seed, 3)
+    class_order = aux_rng.permutation(dataset.num_classes)
+    groups = np.array_split(class_order, spec.num_batches)
+    train_parts: List[Dataset] = []
+    test_parts: List[Dataset] = []
+    for group in groups:
+        part_rngs = {"train": train_rng, "test": test_rng}
+        for split, parts in (("train", train_parts), ("test", test_parts)):
+            data = getattr(target, split)
+            indices = np.flatnonzero(np.isin(data.labels, group))
+            if indices.size == 0:
+                raise ValueError(
+                    f"class group {sorted(int(c) for c in group)} has no "
+                    f"{split} examples in target domain {spec.target!r}"
+                )
+            parts.append(data.subset(indices).shuffled(part_rngs[split]))
+    return _assemble(
+        dataset, spec, f"class-inc:{spec.target}", train_parts, test_parts,
+        target.test,
+    )
+
+
+@register_family(
+    "label_noise",
+    needs_noise=True,
+    summary="Two-domain stream with a seeded fraction of train labels flipped.",
+)
+def build_label_noise(
+    dataset: MultiDomainDataset, spec: ScenarioSpec
+) -> StreamScenario:
+    """Label-noise injection over the two-domain stream.
+
+    Builds the exact ``two_domain`` composition for the same seed, then
+    flips ``round(noise_rate * len(batch))`` train labels per batch to a
+    uniformly-drawn *different* class, using a noise generator spawned
+    after the stream children so the underlying composition (and every
+    test slice, which stays clean) is bit-identical to ``two_domain``.
+    """
+    if dataset.num_classes < 2:
+        raise ValueError("label noise needs at least 2 classes to flip between")
+    root = seeded_rng(spec.seed)
+    base = build_stream_scenario(
+        dataset, spec.source, spec.target,
+        num_batches=spec.num_batches, rng=root,
+    )
+    (noise_rng,) = root.spawn(1)
+    batches: List[StreamBatch] = []
+    for batch in base.batches:
+        labels = batch.data.labels.copy()
+        flip_count = int(round(spec.noise_rate * len(batch.data)))
+        if flip_count:
+            flip_idx = noise_rng.choice(len(batch.data), size=flip_count, replace=False)
+            offsets = noise_rng.integers(1, dataset.num_classes, size=flip_count)
+            labels[flip_idx] = (labels[flip_idx] + offsets) % dataset.num_classes
+        noisy = Dataset(
+            features=batch.data.features,
+            labels=labels,
+            num_classes=batch.data.num_classes,
+            name=batch.data.name,
+        )
+        batches.append(StreamBatch(index=batch.index, data=noisy, test=batch.test))
+    return StreamScenario(
+        dataset_name=base.dataset_name,
+        source=base.source,
+        target_name=f"label-noise({spec.noise_rate:g}):{spec.target}",
+        batches=batches,
+        target_test=base.target_test,
+    )

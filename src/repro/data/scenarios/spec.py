@@ -1,0 +1,135 @@
+"""Scenario specs and digests for the drift zoo.
+
+A :class:`ScenarioSpec` is a frozen, picklable description of one stream
+scenario: which family builds it, the source domain, the ordered target
+domains, the batch count, the seed, and (for the noise family) the label
+noise rate.  Specs are pure data — the same ``(dataset, spec)`` pair always
+rebuilds the same :class:`~repro.data.streams.StreamScenario`, byte for
+byte.  :func:`scenario_digest` fingerprints a built scenario so that
+contract is checkable: the golden layer pins one digest per family and the
+conformance suite asserts same-seed rebuilds (including across processes)
+reproduce it exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.streams import StreamScenario
+from repro.utils.seeding import DEFAULT_SEED
+from repro.utils.validation import ensure_positive_int
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Frozen description of one drift-zoo scenario.
+
+    Attributes
+    ----------
+    family:
+        Name of a registered scenario family (see
+        :data:`repro.data.scenarios.SCENARIO_REGISTRY`).
+    source:
+        Domain used for full-precision training and initial calibration.
+    targets:
+        Ordered target domains the stream draws from.  Single-target
+        families (``two_domain``, ``gradual``, ``class_incremental``,
+        ``label_noise``) take one name; multi-domain families (``abrupt``,
+        ``recurring``, ``domain_incremental``) take two or more.
+    num_batches:
+        Number of sequential stream batches (10 in the paper).
+    seed:
+        Root seed.  Every builder derives all of its randomness from
+        ``SeedSequence(seed)`` children spawned up front in a fixed order,
+        so test slices never depend on train-split shuffles or sizes.
+    noise_rate:
+        Fraction of train labels flipped per batch — only meaningful for
+        the ``label_noise`` family, must be 0 elsewhere.
+    """
+
+    family: str
+    source: str
+    targets: Tuple[str, ...]
+    num_batches: int = 10
+    seed: int = DEFAULT_SEED
+    noise_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "targets", tuple(self.targets))
+        if not self.family:
+            raise ValueError("family must be a non-empty string")
+        if not self.source:
+            raise ValueError("source must be a non-empty domain name")
+        if not self.targets:
+            raise ValueError("targets must name at least one domain")
+        ensure_positive_int(self.num_batches, "num_batches")
+        if not 0.0 <= float(self.noise_rate) < 1.0:
+            raise ValueError(
+                f"noise_rate must lie in [0, 1), got {self.noise_rate}"
+            )
+
+    @property
+    def target(self) -> str:
+        """The primary (first) target domain — what report rows key on."""
+        return self.targets[0]
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity, e.g. ``abrupt(A→B|C, B=10, seed=0)``."""
+        targets = "|".join(self.targets)
+        parts = f"{self.family}({self.source}→{targets}, B={self.num_batches}, seed={self.seed}"
+        if self.noise_rate:
+            parts += f", noise={self.noise_rate:g}"
+        return parts + ")"
+
+
+def array_digest(values: np.ndarray) -> str:
+    """Stable SHA-256 of an array's shape and float64/int64 bytes.
+
+    Floats are canonicalized to float64 and integers/bools to int64 before
+    hashing, so the fingerprint is invariant to the process-global compute
+    dtype — the same canonicalization the golden layer uses.
+    """
+    values = np.ascontiguousarray(values)
+    if values.dtype.kind == "f":
+        values = values.astype(np.float64)  # repro-lint: disable=dtype-discipline -- digest canonicalization: fingerprints must not depend on the compute dtype
+    elif values.dtype.kind in "iub":
+        values = values.astype(np.int64)
+    digest = hashlib.sha256()
+    digest.update(str(values.shape).encode())
+    digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
+def dataset_digest(dataset: Dataset) -> str:
+    """SHA-256 over a dataset's canonicalized features and labels."""
+    digest = hashlib.sha256()
+    digest.update(array_digest(dataset.features).encode())
+    digest.update(array_digest(dataset.labels).encode())
+    return digest.hexdigest()
+
+
+def scenario_digest(scenario: StreamScenario) -> str:
+    """Order-sensitive SHA-256 fingerprint of a built scenario.
+
+    Covers the identity strings (dataset, source domain, target name), the
+    batch count, every batch's adaptation data and test slice, and the full
+    target test set — so any change to composition, ordering, labels, or
+    values changes the digest.  This is what ``tests/golden/fixtures``
+    pins per family.
+    """
+    digest = hashlib.sha256()
+    for token in (scenario.dataset_name, scenario.source.domain, scenario.target_name):
+        digest.update(token.encode())
+        digest.update(b"\x00")
+    digest.update(str(scenario.num_batches).encode())
+    for batch in scenario.batches:
+        digest.update(dataset_digest(batch.data).encode())
+        digest.update(dataset_digest(batch.test).encode())
+    digest.update(dataset_digest(scenario.target_test).encode())
+    return digest.hexdigest()

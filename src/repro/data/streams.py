@@ -62,18 +62,35 @@ class StreamScenario:
         return f"{self.dataset_name}: {self.source.domain} → {self.target_name}"
 
 
-def _split_into_batches(
-    dataset: Dataset, num_batches: int, rng: np.random.Generator
+def split_into_batches(
+    dataset: Dataset,
+    num_batches: int,
+    rng: np.random.Generator,
+    label: str = "examples",
 ) -> List[Dataset]:
-    """Split ``dataset`` into ``num_batches`` roughly equal, shuffled parts."""
+    """Split ``dataset`` into ``num_batches`` roughly equal, shuffled parts.
+
+    ``np.array_split`` hands the remainder to the leading chunks: splitting
+    ``n`` examples into ``k`` batches yields ``n % k`` batches of
+    ``n // k + 1`` followed by ``k - n % k`` batches of ``n // k`` — pinned
+    by a regression test so stream-batch sizing can never drift silently.
+    ``label`` names the split in the error message (e.g. ``"train examples
+    of target domain 'Subj. 2'"``) so a too-small split fails loudly and
+    identifiably instead of producing empty batches downstream.
+    """
     ensure_positive_int(num_batches, "num_batches")
     if len(dataset) < num_batches:
         raise ValueError(
-            f"cannot split {len(dataset)} examples into {num_batches} stream batches"
+            f"cannot split {len(dataset)} {label} into {num_batches} "
+            "non-empty stream batches"
         )
     order = rng.permutation(len(dataset))
     chunks = np.array_split(order, num_batches)
     return [dataset.subset(chunk) for chunk in chunks]
+
+
+#: Backwards-compatible alias (the helper predates its public name).
+_split_into_batches = split_into_batches
 
 
 def _spawn_children(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
@@ -112,12 +129,29 @@ def build_stream_scenario(
     """
     if source == target:
         raise ValueError("source and target domains must differ")
+    ensure_positive_int(num_batches, "num_batches")
     rng = default_rng_fallback(rng)
     source_domain = dataset[source]
     target_domain = dataset[target]
+    for split_name, split in (
+        ("train", target_domain.train),
+        ("test", target_domain.test),
+    ):
+        if len(split) < num_batches:
+            raise ValueError(
+                f"target domain {target!r} has only {len(split)} {split_name} "
+                f"examples — cannot form {num_batches} non-empty stream "
+                "batches; lower num_batches or grow the split"
+            )
     train_rng, test_rng = _spawn_children(rng, 2)
-    stream_parts = _split_into_batches(target_domain.train, num_batches, train_rng)
-    test_parts = _split_into_batches(target_domain.test, num_batches, test_rng)
+    stream_parts = split_into_batches(
+        target_domain.train, num_batches, train_rng,
+        label=f"train examples of target domain {target!r}",
+    )
+    test_parts = split_into_batches(
+        target_domain.test, num_batches, test_rng,
+        label=f"test examples of target domain {target!r}",
+    )
     batches = [
         StreamBatch(index=i, data=stream_parts[i], test=test_parts[i])
         for i in range(num_batches)

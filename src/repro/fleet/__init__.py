@@ -36,6 +36,12 @@ leases, chaos harness) layers *above* this package — import it from
 """
 
 from repro.fleet.registry import Fleet
+from repro.fleet.assignment import (
+    assign_scenarios,
+    assignment_digests,
+    build_device_scenarios,
+    fleet_scenario_stream,
+)
 from repro.fleet.calibrator import (
     FleetBatchReport,
     FleetCalibrationResult,
@@ -79,7 +85,11 @@ __all__ = [
     "StoreDaemon",
     "StoreError",
     "TransientFault",
+    "assign_scenarios",
+    "assignment_digests",
+    "build_device_scenarios",
     "dataset_digest",
+    "fleet_scenario_stream",
     "run_fleet_stream",
     "spawn_store_daemon",
 ]

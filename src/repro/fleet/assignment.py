@@ -1,0 +1,101 @@
+"""Heterogeneous per-device drift: scenario assignment for fleets.
+
+The million-device story of the north star is not one stream but many —
+every device sees its *own* drift.  This module maps a fleet onto the drift
+zoo deterministically: devices take scenario specs round-robin from a grid
+(typically :func:`~repro.data.scenarios.default_scenario_grid`), each respun
+under a device-specific seed derived from one root seed via ``SeedSequence``
+spawning.  Two devices assigned the same family therefore stream *different*
+data, yet the whole fleet's workload is a pure function of
+``(device_ids, scenarios, seed)`` — rebuildable bit for bit on any host,
+which :func:`assignment_digests` fingerprints.
+
+:func:`fleet_scenario_stream` renders an assignment into the
+``stream`` shape :func:`repro.fleet.sharded.run_fleet_stream` consumes
+(one ``{device_id: Dataset}`` mapping per time step), so a heterogeneous
+drift fleet runs through the sharded calibrator unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Mapping, Sequence
+
+from repro.data.dataset import Dataset, MultiDomainDataset
+from repro.data.scenarios import ScenarioSpec, build_scenario, scenario_digest
+from repro.data.streams import StreamScenario
+from repro.eval.parallel import derive_seeds
+from repro.utils.seeding import DEFAULT_SEED
+
+
+def assign_scenarios(
+    device_ids: Sequence[str],
+    scenarios: Sequence[ScenarioSpec],
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, ScenarioSpec]:
+    """Deterministically assign one scenario spec to every device.
+
+    Device ``i`` (in the given order) takes ``scenarios[i % len(scenarios)]``
+    re-seeded with the ``i``-th child of ``SeedSequence(seed)`` — so the
+    family schedule is predictable while each device's stream composition is
+    statistically independent of every other device's.  Returns a mapping in
+    device order.  Duplicate or empty inputs raise.
+    """
+    if not device_ids:
+        raise ValueError("device_ids is empty")
+    if not scenarios:
+        raise ValueError("scenarios is empty")
+    if len(set(device_ids)) != len(device_ids):
+        raise ValueError("device_ids must be unique")
+    device_seeds = derive_seeds(seed, len(device_ids))
+    return {
+        device_id: replace(scenarios[i % len(scenarios)], seed=device_seeds[i])
+        for i, device_id in enumerate(device_ids)
+    }
+
+
+def build_device_scenarios(
+    dataset: MultiDomainDataset, assignment: Mapping[str, ScenarioSpec]
+) -> Dict[str, StreamScenario]:
+    """Materialise every device's assigned scenario through the registry."""
+    if not assignment:
+        raise ValueError("assignment is empty")
+    return {
+        device_id: build_scenario(dataset, spec)
+        for device_id, spec in assignment.items()
+    }
+
+
+def fleet_scenario_stream(
+    dataset: MultiDomainDataset, assignment: Mapping[str, ScenarioSpec]
+) -> List[Dict[str, Dataset]]:
+    """Render an assignment as the per-step stream ``run_fleet_stream`` takes.
+
+    Step ``t`` maps every device id to batch ``t`` of its own scenario, so
+    all devices advance in lockstep.  All assigned specs must agree on
+    ``num_batches`` (a fleet round is one step for *every* device).
+    """
+    counts = {spec.num_batches for spec in assignment.values()}
+    if len(counts) > 1:
+        raise ValueError(
+            f"assigned scenarios disagree on num_batches: {sorted(counts)}"
+        )
+    scenarios = build_device_scenarios(dataset, assignment)
+    num_batches = next(iter(counts))
+    return [
+        {
+            device_id: scenario.batches[step].data
+            for device_id, scenario in scenarios.items()
+        }
+        for step in range(num_batches)
+    ]
+
+
+def assignment_digests(
+    dataset: MultiDomainDataset, assignment: Mapping[str, ScenarioSpec]
+) -> Dict[str, str]:
+    """Per-device scenario fingerprints — the auditable identity of a fleet's workload."""
+    return {
+        device_id: scenario_digest(scenario)
+        for device_id, scenario in build_device_scenarios(dataset, assignment).items()
+    }

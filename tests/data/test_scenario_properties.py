@@ -1,0 +1,289 @@
+"""Shared conformance suite for every registered drift-zoo family.
+
+Parametrized over the scenario registry itself, so a newly registered family
+is covered automatically (and a family that breaks an invariant is named in
+the failing test id).  The invariants are the scenario contract from
+``docs/scenarios.md``: same-seed bit-identical rebuild (in-process and
+across processes), digest sensitivity to the seed, cross-family digest
+uniqueness, disjoint train/test samples, non-empty batches, labels inside
+the label space, and independence of test slices from train shuffles — the
+PR 2 bug class.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.data.dataset import DomainDataset, MultiDomainDataset
+from repro.data.scenarios import (
+    ScenarioSpec,
+    build_scenario,
+    default_scenario_grid,
+    register_family,
+    scenario_digest,
+    scenario_families,
+)
+from repro.eval import ContinualEvaluator
+
+SEED = 7
+NUM_BATCHES = 10
+NOISE_RATE = 0.25
+#: 10 classes so ``class_incremental`` can fill all 10 paper-protocol batches.
+PROP_TS = SyntheticTimeSeriesConfig(
+    num_classes=10, num_domains=3, channels=3, length=16,
+    train_per_class=12, val_per_class=2, test_per_class=4,
+)
+
+FAMILIES = scenario_families()
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_dsa_surrogate(seed=SEED, config=PROP_TS)
+
+
+@pytest.fixture(scope="module")
+def grid(data):
+    return {
+        spec.family: spec
+        for spec in default_scenario_grid(
+            data, num_batches=NUM_BATCHES, seed=SEED, noise_rate=NOISE_RATE
+        )
+    }
+
+
+@pytest.fixture(scope="module")
+def scenarios(data, grid):
+    return {family: build_scenario(data, spec) for family, spec in grid.items()}
+
+
+def _feature_rows(dataset) -> set:
+    return {row.tobytes() for row in np.ascontiguousarray(dataset.features)}
+
+
+def test_default_grid_covers_every_registered_family(grid):
+    assert set(grid) == set(FAMILIES)
+
+
+def test_cross_family_digests_unique(scenarios):
+    digests = {f: scenario_digest(s) for f, s in scenarios.items()}
+    assert len(set(digests.values())) == len(digests)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestFamilyConformance:
+    def test_same_seed_bit_identical_rebuild(self, data, grid, scenarios, family):
+        rebuilt = build_scenario(data, grid[family])
+        original = scenarios[family]
+        assert scenario_digest(rebuilt) == scenario_digest(original)
+        for a, b in zip(original.batches, rebuilt.batches):
+            np.testing.assert_array_equal(a.data.features, b.data.features)
+            np.testing.assert_array_equal(a.data.labels, b.data.labels)
+            np.testing.assert_array_equal(a.test.features, b.test.features)
+            np.testing.assert_array_equal(a.test.labels, b.test.labels)
+
+    def test_different_seed_changes_digest(self, data, grid, scenarios, family):
+        import dataclasses
+
+        respun = dataclasses.replace(grid[family], seed=SEED + 1)
+        assert scenario_digest(build_scenario(data, respun)) != scenario_digest(
+            scenarios[family]
+        )
+
+    def test_all_batches_nonempty(self, scenarios, family):
+        scenario = scenarios[family]
+        assert scenario.num_batches == NUM_BATCHES
+        for batch in scenario.batches:
+            assert len(batch.data) > 0
+            assert len(batch.test) > 0
+
+    def test_no_train_test_sample_overlap(self, scenarios, family):
+        scenario = scenarios[family]
+        train_rows = set()
+        test_rows = set()
+        for batch in scenario.batches:
+            train_rows |= _feature_rows(batch.data)
+            test_rows |= _feature_rows(batch.test)
+        assert not train_rows & test_rows
+
+    def test_labels_within_label_space(self, data, scenarios, family):
+        scenario = scenarios[family]
+        for batch in scenario.batches:
+            for split in (batch.data, batch.test):
+                assert split.num_classes == data.num_classes
+                assert split.labels.min() >= 0
+                assert split.labels.max() < data.num_classes
+
+    def test_test_slices_independent_of_train_shuffle(self, data, grid, scenarios, family):
+        """Truncating a target's *train* split must not move any test slice."""
+        spec = grid[family]
+        target = data[spec.targets[0]]
+        truncated = DomainDataset(
+            domain=target.domain,
+            train=target.train.subset(np.arange(len(target.train) - 1)),
+            val=target.val,
+            test=target.test,
+        )
+        modified = MultiDomainDataset(
+            name=data.name,
+            domains={**data.domains, spec.targets[0]: truncated},
+        )
+        changed = build_scenario(modified, spec)
+        for a, b in zip(scenarios[family].batches, changed.batches):
+            np.testing.assert_array_equal(a.test.features, b.test.features)
+            np.testing.assert_array_equal(a.test.labels, b.test.labels)
+
+
+def test_two_domain_matches_continual_evaluator(data, grid, scenarios):
+    """The zoo's baseline family IS the paper protocol, bit for bit."""
+    spec = grid["two_domain"]
+    evaluator = ContinualEvaluator(num_batches=NUM_BATCHES, seed=SEED)
+    reference = evaluator.build_scenario(data, spec.source, spec.target)
+    assert scenario_digest(reference) == scenario_digest(scenarios["two_domain"])
+
+
+def test_label_noise_flips_exact_fraction_and_keeps_tests_clean(data, grid, scenarios):
+    """Same seed: label_noise == two_domain except the flipped train labels."""
+    noisy = scenarios["label_noise"]
+    base = build_scenario(
+        data,
+        ScenarioSpec(
+            family="two_domain",
+            source=grid["label_noise"].source,
+            targets=grid["label_noise"].targets,
+            num_batches=NUM_BATCHES,
+            seed=SEED,
+        ),
+    )
+    for clean_batch, noisy_batch in zip(base.batches, noisy.batches):
+        np.testing.assert_array_equal(
+            clean_batch.data.features, noisy_batch.data.features
+        )
+        np.testing.assert_array_equal(
+            clean_batch.test.features, noisy_batch.test.features
+        )
+        np.testing.assert_array_equal(
+            clean_batch.test.labels, noisy_batch.test.labels
+        )
+        flipped = int(
+            (clean_batch.data.labels != noisy_batch.data.labels).sum()
+        )
+        assert flipped == round(NOISE_RATE * len(clean_batch.data))
+
+
+_CHILD_SCRIPT = """
+import json, sys
+import numpy as np
+from repro import runtime
+runtime.set_dtype(np.float64)
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.data.scenarios import build_scenario, default_scenario_grid, scenario_digest
+config = SyntheticTimeSeriesConfig(
+    num_classes=10, num_domains=3, channels=3, length=16,
+    train_per_class=12, val_per_class=2, test_per_class=4,
+)
+data = make_dsa_surrogate(seed={seed}, config=config)
+grid = default_scenario_grid(data, num_batches={batches}, seed={seed}, noise_rate={noise})
+digests = {{spec.family: scenario_digest(build_scenario(data, spec)) for spec in grid}}
+print(json.dumps(digests))
+"""
+
+
+def test_determinism_across_processes(data, grid, scenarios):
+    """A fresh interpreter reproduces every family's digest exactly."""
+    script = _CHILD_SCRIPT.format(seed=SEED, batches=NUM_BATCHES, noise=NOISE_RATE)
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    output = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, timeout=240, check=True,
+    )
+    child_digests = json.loads(output.stdout)
+    parent_digests = {f: scenario_digest(s) for f, s in scenarios.items()}
+    assert child_digests == parent_digests
+
+
+class TestRegistryValidation:
+    def test_unknown_family_names_the_registry(self, data):
+        spec = ScenarioSpec(family="nope", source="Subj. 1", targets=("Subj. 2",))
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            build_scenario(data, spec)
+
+    def test_unknown_domain_rejected(self, data):
+        spec = ScenarioSpec(family="two_domain", source="Subj. 1", targets=("Mars",))
+        with pytest.raises(ValueError, match="Mars"):
+            build_scenario(data, spec)
+
+    def test_duplicate_targets_rejected(self, data):
+        spec = ScenarioSpec(
+            family="recurring", source="Subj. 1",
+            targets=("Subj. 2", "Subj. 2"), num_batches=NUM_BATCHES,
+        )
+        with pytest.raises(ValueError, match="distinct"):
+            build_scenario(data, spec)
+
+    def test_source_among_targets_rejected(self, data):
+        spec = ScenarioSpec(
+            family="abrupt", source="Subj. 1",
+            targets=("Subj. 1", "Subj. 2"), num_batches=NUM_BATCHES,
+        )
+        with pytest.raises(ValueError, match="source"):
+            build_scenario(data, spec)
+
+    def test_wrong_target_arity_rejected(self, data):
+        spec = ScenarioSpec(
+            family="abrupt", source="Subj. 1", targets=("Subj. 2",),
+            num_batches=NUM_BATCHES,
+        )
+        with pytest.raises(ValueError, match="target"):
+            build_scenario(data, spec)
+
+    def test_noise_rate_on_noiseless_family_rejected(self, data):
+        spec = ScenarioSpec(
+            family="gradual", source="Subj. 1", targets=("Subj. 2",),
+            noise_rate=0.1,
+        )
+        with pytest.raises(ValueError, match="noise_rate"):
+            build_scenario(data, spec)
+
+    def test_label_noise_without_rate_rejected(self, data):
+        spec = ScenarioSpec(
+            family="label_noise", source="Subj. 1", targets=("Subj. 2",)
+        )
+        with pytest.raises(ValueError, match="noise_rate"):
+            build_scenario(data, spec)
+
+    def test_class_incremental_needs_enough_classes(self, data):
+        spec = ScenarioSpec(
+            family="class_incremental", source="Subj. 1",
+            targets=("Subj. 2",), num_batches=PROP_TS.num_classes + 1,
+        )
+        with pytest.raises(ValueError, match="num_classes"):
+            build_scenario(data, spec)
+
+    def test_recurring_needs_one_batch_per_target(self, data):
+        spec = ScenarioSpec(
+            family="recurring", source="Subj. 1",
+            targets=("Subj. 2", "Subj. 3"), num_batches=1,
+        )
+        with pytest.raises(ValueError, match="recurring"):
+            build_scenario(data, spec)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_family("two_domain")(lambda dataset, spec: None)
+
+    def test_spec_validates_noise_rate_bounds(self):
+        with pytest.raises(ValueError, match="noise_rate"):
+            ScenarioSpec(
+                family="label_noise", source="a", targets=("b",), noise_rate=1.0
+            )

@@ -194,3 +194,68 @@ class TestStreamScenario:
         assert len(scenario_pairs(data, max_pairs=2)) == 2
         with pytest.raises(ValueError):
             scenario_pairs(data, max_pairs=0)
+
+
+class TestBatchSplitContract:
+    """Pins the split helper's error surface and remainder distribution."""
+
+    def test_too_many_batches_error_names_split_and_domain(self, rng):
+        """num_batches between the test- and train-split sizes must raise a
+        ValueError naming the too-small split and the target domain — not
+        produce empty batches (nor fail late inside the test split)."""
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        test_size = len(data["Subj. 2"].test)
+        train_size = len(data["Subj. 2"].train)
+        num_batches = test_size + 1
+        assert num_batches <= train_size
+        with pytest.raises(ValueError) as excinfo:
+            build_stream_scenario(
+                data, "Subj. 1", "Subj. 2", num_batches=num_batches, rng=rng
+            )
+        message = str(excinfo.value)
+        assert "test" in message
+        assert "Subj. 2" in message
+        assert str(test_size) in message
+
+    def test_every_batch_nonempty_at_the_boundary(self, rng):
+        """num_batches == test-split size is the legal extreme: 1 test
+        example per batch, none empty."""
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        test_size = len(data["Subj. 2"].test)
+        scenario = build_stream_scenario(
+            data, "Subj. 1", "Subj. 2", num_batches=test_size, rng=rng
+        )
+        assert all(len(b.test) == 1 for b in scenario.batches)
+        assert all(len(b.data) >= 1 for b in scenario.batches)
+
+    def test_split_remainder_goes_to_leading_batches(self, rng):
+        """np.array_split semantics, pinned: n % k leading chunks get the
+        extra example — [ceil] * (n % k) + [floor] * (k - n % k)."""
+        from repro.data.streams import split_into_batches
+
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        train = data["Subj. 2"].train  # 50 examples with SMALL_TS
+        for k in (3, 4, 7):
+            parts = split_into_batches(train, k, rng)
+            n = len(train)
+            expected = [n // k + 1] * (n % k) + [n // k] * (k - n % k)
+            assert [len(p) for p in parts] == expected
+
+    def test_split_partitions_without_loss_or_duplication(self, rng):
+        from repro.data.streams import split_into_batches
+
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        train = data["Subj. 2"].train
+        parts = split_into_batches(train, 4, rng)
+        rows = [row.tobytes() for p in parts for row in np.ascontiguousarray(p.features)]
+        original = {row.tobytes() for row in np.ascontiguousarray(train.features)}
+        assert len(rows) == len(train)
+        assert set(rows) == original
+
+    def test_split_error_message_counts_examples(self, rng):
+        from repro.data.streams import split_into_batches
+
+        data = make_dsa_surrogate(seed=0, config=SMALL_TS)
+        test = data["Subj. 2"].test
+        with pytest.raises(ValueError, match=f"{len(test)} examples"):
+            split_into_batches(test, len(test) + 1, rng)

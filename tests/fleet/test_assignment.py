@@ -1,0 +1,123 @@
+"""Heterogeneous per-device drift: assignment determinism + fleet integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import QCoreFramework
+from repro.data import SyntheticTimeSeriesConfig, make_dsa_surrogate
+from repro.data.scenarios import default_scenario_grid, scenario_families
+from repro.fleet import (
+    Fleet,
+    assign_scenarios,
+    assignment_digests,
+    build_device_scenarios,
+    fleet_scenario_stream,
+    run_fleet_stream,
+)
+from repro.models import build_model
+
+TINY_TS = SyntheticTimeSeriesConfig(
+    num_classes=3, num_domains=3, channels=3, length=16,
+    train_per_class=8, val_per_class=1, test_per_class=3,
+)
+NUM_BATCHES = 3
+DEVICE_IDS = ["edge-0", "edge-1", "edge-2", "edge-3"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_dsa_surrogate(seed=0, config=TINY_TS)
+
+
+@pytest.fixture(scope="module")
+def grid(data):
+    return default_scenario_grid(data, num_batches=NUM_BATCHES, seed=0)
+
+
+class TestAssignment:
+    def test_round_robin_family_schedule(self, grid):
+        assignment = assign_scenarios(DEVICE_IDS, grid, seed=5)
+        assert list(assignment) == DEVICE_IDS
+        families = sorted(scenario_families())
+        for i, device_id in enumerate(DEVICE_IDS):
+            assert assignment[device_id].family == families[i % len(families)]
+
+    def test_deterministic_and_seed_sensitive(self, grid):
+        first = assign_scenarios(DEVICE_IDS, grid, seed=5)
+        second = assign_scenarios(DEVICE_IDS, grid, seed=5)
+        assert first == second
+        other = assign_scenarios(DEVICE_IDS, grid, seed=6)
+        assert first != other
+
+    def test_devices_sharing_a_family_stream_different_data(self, data, grid):
+        # 9 devices over 7 families: device 0 and 7 both take the first
+        # family, but re-seeding makes their streams (and digests) distinct.
+        many = [f"edge-{i}" for i in range(len(grid) + 2)]
+        assignment = assign_scenarios(many, grid, seed=5)
+        assert assignment["edge-0"].family == assignment[f"edge-{len(grid)}"].family
+        digests = assignment_digests(data, assignment)
+        assert len(set(digests.values())) == len(many)
+
+    def test_rejects_bad_inputs(self, grid):
+        with pytest.raises(ValueError, match="empty"):
+            assign_scenarios([], grid)
+        with pytest.raises(ValueError, match="empty"):
+            assign_scenarios(DEVICE_IDS, [])
+        with pytest.raises(ValueError, match="unique"):
+            assign_scenarios(["a", "a"], grid)
+
+
+class TestFleetStream:
+    def test_stream_shape_covers_every_device_each_step(self, data, grid):
+        assignment = assign_scenarios(DEVICE_IDS, grid, seed=5)
+        stream = fleet_scenario_stream(data, assignment)
+        assert len(stream) == NUM_BATCHES
+        for step in stream:
+            assert set(step) == set(DEVICE_IDS)
+            assert all(len(batch) > 0 for batch in step.values())
+
+    def test_stream_matches_device_scenarios(self, data, grid):
+        assignment = assign_scenarios(DEVICE_IDS, grid, seed=5)
+        stream = fleet_scenario_stream(data, assignment)
+        scenarios = build_device_scenarios(data, assignment)
+        for step_index, step in enumerate(stream):
+            for device_id, batch in step.items():
+                expected = scenarios[device_id].batches[step_index].data
+                np.testing.assert_array_equal(batch.features, expected.features)
+                np.testing.assert_array_equal(batch.labels, expected.labels)
+
+    def test_rejects_num_batches_disagreement(self, data, grid):
+        import dataclasses
+
+        assignment = assign_scenarios(DEVICE_IDS, grid, seed=5)
+        skewed = dict(assignment)
+        skewed["edge-0"] = dataclasses.replace(
+            skewed["edge-0"], num_batches=NUM_BATCHES + 1
+        )
+        with pytest.raises(ValueError, match="num_batches"):
+            fleet_scenario_stream(data, skewed)
+
+
+class TestFleetIntegration:
+    def test_assigned_streams_run_through_the_sharded_calibrator(self, data, grid):
+        """End to end: assignment → stream → run_fleet_stream, every device
+        calibrated on its own drift at every step."""
+        model = build_model(
+            "InceptionTime", data.input_shape, data.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        framework = QCoreFramework(
+            levels=(4,), qcore_size=12, train_epochs=2, calibration_epochs=2,
+            edge_calibration_epochs=1, seed=0,
+        )
+        framework.fit(model, data[data.domain_names[0]].train)
+        deployment = framework.deploy(bits=4)
+        fleet = Fleet({d: deployment.clone() for d in DEVICE_IDS})
+        assignment = assign_scenarios(DEVICE_IDS, grid, seed=5)
+        stream = fleet_scenario_stream(data, assignment)
+        reports = run_fleet_stream(fleet, stream, workers=1)
+        assert len(reports) == NUM_BATCHES
+        for report in reports:
+            assert set(report) == set(DEVICE_IDS)

@@ -85,6 +85,27 @@ def main() -> None:
     gs.FIXTURE_PATH.write_text(json.dumps(fixture, indent=2) + "\n")
     print(f"wrote {gs.FIXTURE_PATH}")
 
+    # 4. Drift-zoo scenario digests: one pin per registered family.  Kept in
+    # a separate fixture file (not the experiment store's golden-kind rows,
+    # which `perf_report verify-migration` constrains to golden.json exactly).
+    scenario_fixture = {
+        "meta": {
+            "dtype": "float64",
+            "seed": gs.SEED,
+            "num_batches": gs.NUM_BATCHES,
+            "generator": "tests/golden/generate_fixtures.py",
+            "note": (
+                "Pinned drift-zoo scenario digests; regenerate only on an "
+                "intentional composition change."
+            ),
+        },
+        "families": gs.describe_scenario_grid(data),
+    }
+    gs.SCENARIO_FIXTURE_PATH.write_text(
+        json.dumps(scenario_fixture, indent=2) + "\n"
+    )
+    print(f"wrote {gs.SCENARIO_FIXTURE_PATH}")
+
     # Re-pin the golden digests in the experiment store.  This is the ONE
     # tool allowed to pass repin=True: pinned rows reject changed digests
     # everywhere else, so golden regeneration stays an explicit act.

@@ -153,3 +153,39 @@ def describe_split(scenario) -> dict:
             for batch in scenario.batches
         ],
     }
+
+
+SCENARIO_FIXTURE_PATH = Path(__file__).parent / "fixtures" / "scenarios.json"
+
+
+def build_scenario_grid(data):
+    """One spec per registered drift-zoo family on the golden dataset."""
+    from repro.data.scenarios import default_scenario_grid
+
+    return default_scenario_grid(data, num_batches=NUM_BATCHES, seed=SEED)
+
+
+def describe_scenario_grid(data) -> dict:
+    """JSON-friendly pins for every family: scenario digest + first-batch data.
+
+    The scenario digest covers the whole stream; the first batch's feature
+    digests and label lists are pinned separately so a digest mismatch is
+    diagnosable (labels are readable, digests say which split moved).
+    """
+    from repro.data.scenarios import build_scenario, scenario_digest
+
+    entries = {}
+    for spec in build_scenario_grid(data):
+        scenario = build_scenario(data, spec)
+        first = scenario.batches[0]
+        entries[spec.family] = {
+            "description": scenario.description,
+            "scenario_digest": scenario_digest(scenario),
+            "batch_sizes": [len(b.data) for b in scenario.batches],
+            "test_sizes": [len(b.test) for b in scenario.batches],
+            "first_batch_features_digest": array_digest(first.data.features),
+            "first_batch_labels": [int(l) for l in first.data.labels],
+            "first_test_features_digest": array_digest(first.test.features),
+            "first_test_labels": [int(l) for l in first.test.labels],
+        }
+    return entries

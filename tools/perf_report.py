@@ -48,9 +48,10 @@ TRAJECTORY_BEGIN = "<!-- trajectory:begin (emitted by `python -m tools.perf_repo
 TRAJECTORY_END = "<!-- trajectory:end -->"
 
 #: Benchmarks the regression gate covers, with their headline metric.
-#: ``parallel_eval`` (1-core hosts record overhead by design) and
-#: ``fleet_service`` (records durability overhead, not speedup) are
-#: deliberately not gated; their trends are still recorded and queryable.
+#: ``parallel_eval`` and ``scenarios`` (1-core hosts record overhead by
+#: design) and ``fleet_service`` (records durability overhead, not
+#: speedup) are deliberately not gated; their trends are still recorded
+#: and queryable.
 GATED_BENCHMARKS: Dict[str, str] = {
     "edge_calibration": "speedup",
     "qat": "speedup",
